@@ -1,0 +1,30 @@
+//! End-to-end simulated insertion throughput per addressing variant —
+//! the wall-clock complement to the paper's message-count experiments
+//! (Figure 8 / Table 1).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdr_bench::exp::common::{dataset, Dist};
+use sdr_core::{Client, ClientId, Cluster, Object, Oid, SdrConfig, Variant};
+
+fn bench_cluster_insert(c: &mut Criterion) {
+    let rects = dataset(10_000, Dist::Uniform, 17);
+    for variant in [Variant::Basic, Variant::ImClient, Variant::ImServer] {
+        c.bench_function(&format!("cluster/insert_10k_{variant:?}"), |b| {
+            b.iter(|| {
+                let mut cluster = Cluster::new(SdrConfig::with_capacity(500));
+                let mut client = Client::new(ClientId(0), variant, 3);
+                for (i, r) in rects.iter().enumerate() {
+                    client.insert(&mut cluster, Object::new(Oid(i as u64), *r));
+                }
+                black_box(cluster.stats.total())
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cluster_insert
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Simulated query latency per variant against a 20k-object tree — the
+//! wall-clock complement to Figure 12.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdr_bench::exp::common::{dataset, Dist};
+use sdr_core::{Client, ClientId, Cluster, Object, Oid, SdrConfig, Variant};
+use sdr_workload::{PointSpec, WindowSpec};
+
+fn bench_cluster_query(c: &mut Criterion) {
+    let rects = dataset(20_000, Dist::Uniform, 19);
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(500));
+    let mut builder = Client::new(ClientId(9), Variant::ImClient, 5);
+    for (i, r) in rects.iter().enumerate() {
+        builder.insert(&mut cluster, Object::new(Oid(i as u64), *r));
+    }
+    let points = PointSpec::uniform().generate(256, 23);
+    let windows = WindowSpec::paper_default().generate(256, 29);
+
+    for variant in [Variant::Basic, Variant::ImClient, Variant::ImServer] {
+        // Warm a client per variant so the steady state is measured.
+        let mut client = Client::new(ClientId(0), variant, 7);
+        for p in &points[..64] {
+            client.point_query(&mut cluster, *p);
+        }
+        let mut i = 0usize;
+        c.bench_function(&format!("cluster/point_query_{variant:?}"), |b| {
+            b.iter(|| {
+                i = (i + 1) % points.len();
+                black_box(client.point_query(&mut cluster, points[i]).results.len())
+            })
+        });
+        let mut j = 0usize;
+        c.bench_function(&format!("cluster/window_query_{variant:?}"), |b| {
+            b.iter(|| {
+                j = (j + 1) % windows.len();
+                black_box(client.window_query(&mut cluster, windows[j]).results.len())
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cluster_query
+}
+criterion_main!(benches);

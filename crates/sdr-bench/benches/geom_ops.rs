@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the geometry kernel — the innermost loops of
+//! every traversal and split.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdr_bench::exp::common::{dataset, Dist};
+use sdr_geom::Point;
+
+fn bench_geom(c: &mut Criterion) {
+    let rects = dataset(10_000, Dist::Uniform, 7);
+    let points: Vec<Point> = rects.iter().map(|r| r.center()).collect();
+
+    c.bench_function("geom/union_10k_pairs", |b| {
+        b.iter(|| {
+            let mut acc = rects[0];
+            for r in &rects {
+                acc = acc.union(black_box(r));
+            }
+            acc
+        })
+    });
+
+    c.bench_function("geom/intersects_10k_pairs", |b| {
+        b.iter(|| {
+            let probe = rects[42];
+            rects
+                .iter()
+                .filter(|r| probe.intersects(black_box(r)))
+                .count()
+        })
+    });
+
+    c.bench_function("geom/enlargement_10k", |b| {
+        b.iter(|| {
+            let probe = rects[42];
+            rects
+                .iter()
+                .map(|r| probe.enlargement(black_box(r)))
+                .sum::<f64>()
+        })
+    });
+
+    c.bench_function("geom/min_dist2_10k", |b| {
+        b.iter(|| {
+            let p = points[42];
+            rects
+                .iter()
+                .map(|r| r.min_dist2(black_box(&p)))
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_geom
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Local R-tree benchmarks: insert/search throughput per split policy,
+//! plus STR bulk loading — the data-node storage layer every server
+//! runs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdr_bench::exp::common::{dataset, Dist};
+use sdr_geom::{Point, Rect};
+use sdr_rtree::{Entry, RTree, RTreeConfig, SplitPolicy};
+
+fn bench_rtree(c: &mut Criterion) {
+    let rects = dataset(10_000, Dist::Uniform, 11);
+
+    for policy in [
+        SplitPolicy::Linear,
+        SplitPolicy::Quadratic,
+        SplitPolicy::RStar,
+    ] {
+        c.bench_function(&format!("rtree/insert_10k_{policy:?}"), |b| {
+            b.iter(|| {
+                let mut t: RTree<usize> = RTree::new(RTreeConfig::with_max(32, policy));
+                for (i, r) in rects.iter().enumerate() {
+                    t.insert(*r, i);
+                }
+                black_box(t.len())
+            })
+        });
+    }
+
+    let tree = {
+        let mut t: RTree<usize> = RTree::new(RTreeConfig::default());
+        for (i, r) in rects.iter().enumerate() {
+            t.insert(*r, i);
+        }
+        t
+    };
+
+    c.bench_function("rtree/point_query", |b| {
+        let p = Point::new(0.5, 0.5);
+        b.iter(|| black_box(tree.search_point(black_box(&p)).len()))
+    });
+
+    c.bench_function("rtree/window_query_10pct", |b| {
+        let w = Rect::new(0.45, 0.45, 0.55, 0.55);
+        b.iter(|| black_box(tree.search_window(black_box(&w)).len()))
+    });
+
+    c.bench_function("rtree/knn_10", |b| {
+        let p = Point::new(0.3, 0.7);
+        b.iter(|| black_box(tree.nearest(black_box(p), 10).len()))
+    });
+
+    c.bench_function("rtree/bulk_load_10k", |b| {
+        b.iter(|| {
+            let entries: Vec<Entry<usize>> = rects
+                .iter()
+                .enumerate()
+                .map(|(i, r)| Entry::new(*r, i))
+                .collect();
+            let t = RTree::bulk_load(RTreeConfig::default(), entries);
+            black_box(t.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_rtree
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Distributed spatial-join throughput (the §7 extension): wall-clock
+//! and message cost of a full conflict sweep, versus a centralized
+//! brute-force baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdr_core::{Client, ClientId, Cluster, Object, Oid, SdrConfig, Variant};
+use sdr_workload::{DatasetSpec, Distribution};
+
+fn bench_join(c: &mut Criterion) {
+    let data = DatasetSpec::new(4_000, Distribution::Uniform)
+        .with_extents(0.002, 0.01)
+        .generate(23);
+
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(400));
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 7);
+    for (i, r) in data.iter().enumerate() {
+        client.insert(&mut cluster, Object::new(Oid(i as u64), *r));
+    }
+
+    c.bench_function("join/distributed_4k", |b| {
+        b.iter(|| black_box(client.spatial_join(&mut cluster).pairs.len()))
+    });
+
+    c.bench_function("join/bruteforce_4k", |b| {
+        b.iter(|| {
+            let mut pairs = 0usize;
+            for i in 0..data.len() {
+                for j in (i + 1)..data.len() {
+                    if data[i].intersects(&data[j]) {
+                        pairs += 1;
+                    }
+                }
+            }
+            black_box(pairs)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_join
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Server-split benchmark: partitioning a full data node (the paper's
+//! capacity of 3,000 objects) under each split policy, and the quality
+//! (overlap) of the resulting halves.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdr_bench::exp::common::{dataset, Dist};
+use sdr_geom::Rect;
+use sdr_rtree::{partition, Entry, RTreeConfig, SplitPolicy};
+
+fn bench_splits(c: &mut Criterion) {
+    let rects = dataset(3_001, Dist::Uniform, 13);
+    for policy in [
+        SplitPolicy::Linear,
+        SplitPolicy::Quadratic,
+        SplitPolicy::RStar,
+    ] {
+        let config = RTreeConfig {
+            max_entries: rects.len().max(2),
+            min_entries: (rects.len() * 2) / 5,
+            split: policy,
+            reinsert: false,
+        };
+        c.bench_function(&format!("split/partition_3k_{policy:?}"), |b| {
+            b.iter(|| {
+                let entries: Vec<Entry<u64>> = rects
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| Entry::new(*r, i as u64))
+                    .collect();
+                let (a, bside) = partition(entries, &config);
+                let ra = Rect::mbb(a.iter().map(|e| &e.rect)).unwrap();
+                let rb = Rect::mbb(bside.iter().map(|e| &e.rect)).unwrap();
+                black_box(ra.overlap_area(&rb))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_splits
+}
+criterion_main!(benches);

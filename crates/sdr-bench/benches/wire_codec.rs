@@ -1,0 +1,99 @@
+//! Wire-codec throughput: encoding and decoding the two message shapes
+//! that dominate network traffic — bulk `SplitCreate` (large) and
+//! `Query` hops (small, frequent).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdr_bench::exp::common::{dataset, Dist};
+use sdr_core::ids::{ClientId, NodeRef, Oid, QueryId, ServerId};
+use sdr_core::msg::{
+    Endpoint, ImageHolder, Message, Payload, QueryKind, QueryMode, QueryMsg, ReplyProtocol,
+};
+use sdr_core::node::{Object, RoutingNode};
+use sdr_core::{Link, OcTable};
+use sdr_geom::{Point, Rect};
+use sdr_net::{decode_message, encode_message};
+
+fn split_create_msg() -> Message {
+    let rects = dataset(1_500, Dist::Uniform, 31);
+    let objects: Vec<Object> = rects
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Object::new(Oid(i as u64), *r))
+        .collect();
+    let dr = Rect::new(0.0, 0.0, 1.0, 1.0);
+    Message {
+        from: Endpoint::Server(ServerId(3)),
+        to: Endpoint::Server(ServerId(9)),
+        payload: Payload::SplitCreate {
+            routing: RoutingNode {
+                height: 1,
+                dr,
+                left: Link::to_data(ServerId(3), dr),
+                right: Link::to_data(ServerId(9), dr),
+                parent: Some(ServerId(1)),
+                oc: OcTable::new(),
+            },
+            objects,
+            data_dr: dr,
+            data_oc: OcTable::new(),
+        },
+    }
+}
+
+fn query_msg() -> Message {
+    Message {
+        from: Endpoint::Client(ClientId(0)),
+        to: Endpoint::Server(ServerId(4)),
+        payload: Payload::Query(QueryMsg {
+            target: NodeRef::data(ServerId(4)),
+            query: QueryKind::Point(Point::new(0.25, 0.75)),
+            region: Rect::new(0.25, 0.75, 0.25, 0.75),
+            mode: QueryMode::Check,
+            qid: QueryId(77),
+            initial: true,
+            repaired: false,
+            iam_carrier: false,
+            visited: vec![],
+            results_to: ClientId(0),
+            iam_to: ImageHolder::Client(ClientId(0)),
+            protocol: ReplyProtocol::Direct,
+            reply_via: None,
+            parent_branch: 0,
+            trace: vec![],
+        }),
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let big = split_create_msg();
+    let small = query_msg();
+
+    c.bench_function("wire/encode_split_create_1500obj", |b| {
+        b.iter(|| black_box(encode_message(black_box(&big)).len()))
+    });
+    let big_frame = encode_message(&big);
+    c.bench_function("wire/decode_split_create_1500obj", |b| {
+        b.iter(|| {
+            let mut body = big_frame.slice(4..);
+            black_box(decode_message(&mut body).unwrap())
+        })
+    });
+
+    c.bench_function("wire/encode_query", |b| {
+        b.iter(|| black_box(encode_message(black_box(&small)).len()))
+    });
+    let small_frame = encode_message(&small);
+    c.bench_function("wire/decode_query", |b| {
+        b.iter(|| {
+            let mut body = small_frame.slice(4..);
+            black_box(decode_message(&mut body).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_codec
+}
+criterion_main!(benches);

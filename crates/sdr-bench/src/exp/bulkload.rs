@@ -1,0 +1,69 @@
+//! Ablation: bulk loading vs incremental construction.
+//!
+//! The paper grows the structure insert by insert; `Cluster::bulk_load`
+//! builds it in one shot. This experiment compares construction wall
+//! time (the one place wall time is the honest metric — no messages are
+//! exchanged during a bulk load), the resulting tree shape, and the
+//! query cost over each.
+
+use crate::exp::common::{dataset, Dist, ExpConfig, Report};
+use sdr_core::{Client, ClientId, Cluster, Object, Oid, Variant};
+use sdr_workload::WindowSpec;
+use std::time::Instant;
+
+/// Runs the bulk-load ablation.
+pub fn run(cfg: &ExpConfig) -> Report {
+    let mut report = Report::new(
+        "bulkload",
+        "construction: incremental insertion vs one-shot bulk loading",
+        &[
+            "method",
+            "build time",
+            "servers",
+            "height",
+            "load(%)",
+            "build msgs",
+            "win msg/q",
+        ],
+    );
+    let n = cfg.query_tree_objects;
+    let objects: Vec<Object> = dataset(n, Dist::Uniform, cfg.seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| Object::new(Oid(i as u64), r))
+        .collect();
+    let windows = WindowSpec::paper_default().generate((cfg.num_queries / 3).max(50), cfg.seed);
+
+    let mut row = |name: &str, mut cluster: Cluster, elapsed: std::time::Duration| {
+        let build_msgs = cluster.stats.total();
+        let mut client = Client::new(ClientId(1), Variant::ImClient, cfg.seed);
+        let snap = cluster.stats.snapshot();
+        for w in &windows {
+            client.window_query(&mut cluster, *w);
+        }
+        let q = cluster.stats.since(&snap);
+        report.row(vec![
+            name.to_string(),
+            format!("{elapsed:.2?}"),
+            cluster.num_servers().to_string(),
+            cluster.height().to_string(),
+            format!("{:.1}", cluster.avg_load() * 100.0),
+            build_msgs.to_string(),
+            format!("{:.2}", q.total as f64 / windows.len() as f64),
+        ]);
+    };
+
+    let t0 = Instant::now();
+    let mut incremental = Cluster::new(cfg.sdr());
+    let mut builder = Client::new(ClientId(0), Variant::ImClient, cfg.seed);
+    for o in &objects {
+        builder.insert(&mut incremental, *o);
+    }
+    row("incremental", incremental, t0.elapsed());
+
+    let t1 = Instant::now();
+    let bulk = Cluster::bulk_load(cfg.sdr(), objects);
+    row("bulk-load", bulk, t1.elapsed());
+
+    report
+}

@@ -1,0 +1,509 @@
+//! Shared experiment machinery: configurations, checkpointed insert and
+//! query runs, result tables and CSV output.
+
+use sdr_core::{Client, ClientId, Cluster, MsgCategory, Object, Oid, SdrConfig, Variant};
+use sdr_geom::Rect;
+use sdr_workload::{DatasetSpec, Distribution, PointSpec, WindowSpec};
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Workload scale of an experiment campaign.
+///
+/// `full()` is the paper's setting (§5): capacity 3,000, 50k-object
+/// initialization, insertions up to 500k, query experiments on a
+/// 200k-object tree with up to 3,000 queries. `quick()` shrinks
+/// everything ~20× for smoke runs and tests; the qualitative shapes
+/// survive the shrink because capacity shrinks proportionally (the tree
+/// keeps a realistic number of servers).
+#[derive(Clone, Debug)]
+pub struct ExpConfig {
+    /// Data-node capacity.
+    pub capacity: usize,
+    /// Objects inserted before measurements start ("This avoids
+    /// partially the measures distortion due to the initialization").
+    pub init_objects: usize,
+    /// Total objects for the insertion experiments.
+    pub total_objects: usize,
+    /// Number of measurement checkpoints between init and total.
+    pub checkpoints: usize,
+    /// Objects in the tree used for query experiments.
+    pub query_tree_objects: usize,
+    /// Number of queries in the query experiments.
+    pub num_queries: usize,
+    /// Checkpoints for the query experiments.
+    pub query_checkpoints: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Where CSV output goes (`None`: stdout tables only).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl ExpConfig {
+    /// The paper's workload scale.
+    pub fn full() -> Self {
+        ExpConfig {
+            capacity: 3_000,
+            init_objects: 50_000,
+            total_objects: 500_000,
+            checkpoints: 10,
+            query_tree_objects: 200_000,
+            num_queries: 3_000,
+            query_checkpoints: 15,
+            seed: 42,
+            out_dir: Some(PathBuf::from("results")),
+        }
+    }
+
+    /// ~20× smaller, for smoke runs and tests.
+    pub fn quick() -> Self {
+        ExpConfig {
+            capacity: 150,
+            init_objects: 2_500,
+            total_objects: 25_000,
+            checkpoints: 10,
+            query_tree_objects: 10_000,
+            num_queries: 300,
+            query_checkpoints: 10,
+            seed: 42,
+            out_dir: None,
+        }
+    }
+
+    pub(crate) fn sdr(&self) -> SdrConfig {
+        SdrConfig::with_capacity(self.capacity)
+    }
+}
+
+/// Which of the paper's two data distributions a run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dist {
+    /// Uniform over the unit square.
+    Uniform,
+    /// Gaussian-cluster skew.
+    Skewed,
+}
+
+impl Dist {
+    /// The workload-crate distribution.
+    pub fn distribution(self) -> Distribution {
+        match self {
+            Dist::Uniform => Distribution::Uniform,
+            Dist::Skewed => Distribution::default_skewed(),
+        }
+    }
+
+    /// Label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dist::Uniform => "uniform",
+            Dist::Skewed => "skewed",
+        }
+    }
+}
+
+/// Label for a variant.
+pub fn variant_label(v: Variant) -> &'static str {
+    match v {
+        Variant::Basic => "BASIC",
+        Variant::ImClient => "IMCLIENT",
+        Variant::ImServer => "IMSERVER",
+    }
+}
+
+/// One measurement point of an insertion run.
+#[derive(Clone, Copy, Debug)]
+pub struct InsertCheckpoint {
+    /// Total objects inserted so far (including initialization).
+    pub inserted: usize,
+    /// Number of servers.
+    pub servers: usize,
+    /// Tree height.
+    pub height: u32,
+    /// Average data-node load factor.
+    pub load: f64,
+    /// Cumulative server messages since the end of initialization.
+    pub total_msgs: u64,
+    /// Server messages within the last checkpoint window.
+    pub window_msgs: u64,
+    /// Insertions within the last window.
+    pub window_inserts: usize,
+    /// Cumulative height-adjustment messages since initialization.
+    pub adjust_msgs: u64,
+    /// Cumulative rotation messages since initialization.
+    pub rotation_msgs: u64,
+    /// Cumulative overlapping-coverage maintenance messages.
+    pub oc_msgs: u64,
+    /// Cumulative split messages.
+    pub split_msgs: u64,
+}
+
+/// A complete, checkpointed insertion run for one (variant,
+/// distribution) pair.
+#[derive(Clone, Debug)]
+pub struct InsertRun {
+    /// The addressing variant.
+    pub variant: Variant,
+    /// The data distribution.
+    pub dist: Dist,
+    /// Measurements, one per checkpoint.
+    pub checkpoints: Vec<InsertCheckpoint>,
+    /// Messages received per server over the measured phase.
+    pub per_server: Vec<u64>,
+    /// Final level of each server: its routing node's height, 0 if the
+    /// server hosts only a data node.
+    pub server_levels: Vec<u32>,
+}
+
+/// Runs a checkpointed insertion experiment.
+pub fn run_inserts(cfg: &ExpConfig, variant: Variant, dist: Dist) -> InsertRun {
+    let data = DatasetSpec::new(cfg.total_objects, dist.distribution()).generate(cfg.seed);
+    let mut cluster = Cluster::new(cfg.sdr());
+    let mut client = Client::new(ClientId(0), variant, cfg.seed ^ 0x11);
+
+    // Initialization phase (unmeasured).
+    for (i, r) in data[..cfg.init_objects].iter().enumerate() {
+        client.insert(&mut cluster, Object::new(Oid(i as u64), *r));
+    }
+    let base = cluster.stats.snapshot();
+    let base_per_server = cluster.stats.per_server_snapshot();
+
+    let measured = cfg.total_objects - cfg.init_objects;
+    let window = measured / cfg.checkpoints;
+    let mut checkpoints = Vec::with_capacity(cfg.checkpoints);
+    let mut last_total = 0u64;
+
+    for c in 0..cfg.checkpoints {
+        let start = cfg.init_objects + c * window;
+        let end = if c + 1 == cfg.checkpoints {
+            cfg.total_objects
+        } else {
+            start + window
+        };
+        for (i, r) in data[start..end].iter().enumerate() {
+            client.insert(&mut cluster, Object::new(Oid((start + i) as u64), *r));
+        }
+        let delta = cluster.stats.since(&base);
+        checkpoints.push(InsertCheckpoint {
+            inserted: end,
+            servers: cluster.num_servers(),
+            height: cluster.height(),
+            load: cluster.avg_load(),
+            total_msgs: delta.total,
+            window_msgs: delta.total - last_total,
+            window_inserts: end - start,
+            adjust_msgs: delta.category(MsgCategory::Adjust),
+            rotation_msgs: delta.category(MsgCategory::Rotation),
+            oc_msgs: delta.category(MsgCategory::Oc),
+            split_msgs: delta.category(MsgCategory::Split),
+        });
+        last_total = delta.total;
+    }
+
+    let final_per_server = cluster.stats.per_server_snapshot();
+    let per_server: Vec<u64> = final_per_server
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v - base_per_server.get(i).copied().unwrap_or(0))
+        .collect();
+    let server_levels = cluster
+        .servers()
+        .iter()
+        .map(|s| s.routing.as_ref().map(|r| r.height).unwrap_or(0))
+        .collect();
+
+    InsertRun {
+        variant,
+        dist,
+        checkpoints,
+        per_server,
+        server_levels,
+    }
+}
+
+/// Point or window queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryType {
+    /// Point queries (§4.1).
+    Point,
+    /// Window queries with the paper's ≤10 % extents (§4.2).
+    Window,
+}
+
+impl QueryType {
+    /// Label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryType::Point => "point",
+            QueryType::Window => "window",
+        }
+    }
+}
+
+/// One measurement point of a query run.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryCheckpoint {
+    /// Queries executed so far.
+    pub queries: usize,
+    /// Cumulative server messages.
+    pub total_msgs: u64,
+    /// Fraction of direct matches within the last window (Figure 13).
+    pub direct_rate: f64,
+    /// Fraction of servers known to the client image (Figure 11;
+    /// meaningful for IMCLIENT).
+    pub known_frac: f64,
+}
+
+/// A checkpointed query run.
+#[derive(Clone, Debug)]
+pub struct QueryRun {
+    /// The addressing variant.
+    pub variant: Variant,
+    /// Point or window queries.
+    pub kind: QueryType,
+    /// Measurements, one per checkpoint.
+    pub checkpoints: Vec<QueryCheckpoint>,
+    /// Messages received per server during the query phase.
+    pub per_server: Vec<u64>,
+    /// Final per-server levels (see [`InsertRun::server_levels`]).
+    pub server_levels: Vec<u32>,
+    /// Fraction of servers known to the client image after each query —
+    /// fine-grained input for the Figure 11 convergence curve.
+    pub known_curve: Vec<f64>,
+}
+
+/// Builds the query-phase tree: `query_tree_objects` uniform objects.
+///
+/// The builder runs the same variant as the experiment that follows:
+/// under IMSERVER the 200k-insert construction phase is what warms the
+/// servers' images (each server acts as contact for ~1/N of the
+/// inserts), exactly as in the paper's architecture where the images
+/// live on the servers from day one.
+pub fn build_query_tree(cfg: &ExpConfig) -> Cluster {
+    build_query_tree_for(cfg, Variant::ImClient)
+}
+
+/// [`build_query_tree`] with an explicit builder variant.
+pub fn build_query_tree_for(cfg: &ExpConfig, variant: Variant) -> Cluster {
+    let data = DatasetSpec::new(cfg.query_tree_objects, Distribution::Uniform).generate(cfg.seed);
+    let mut cluster = Cluster::new(cfg.sdr());
+    let mut builder = Client::new(ClientId(99), variant, cfg.seed ^ 0x22);
+    for (i, r) in data.iter().enumerate() {
+        builder.insert(&mut cluster, Object::new(Oid(i as u64), *r));
+    }
+    cluster
+}
+
+/// Runs a checkpointed query experiment against a fresh tree.
+pub fn run_queries(cfg: &ExpConfig, variant: Variant, kind: QueryType) -> QueryRun {
+    let mut cluster = build_query_tree_for(cfg, variant);
+    let mut client = Client::new(ClientId(0), variant, cfg.seed ^ 0x33);
+
+    let points = PointSpec::uniform().generate(cfg.num_queries, cfg.seed ^ 0x44);
+    let windows = WindowSpec::paper_default().generate(cfg.num_queries, cfg.seed ^ 0x55);
+
+    let base = cluster.stats.snapshot();
+    let base_per_server = cluster.stats.per_server_snapshot();
+    let window = cfg.num_queries / cfg.query_checkpoints;
+    let mut checkpoints = Vec::with_capacity(cfg.query_checkpoints);
+    let mut known_curve = Vec::with_capacity(cfg.num_queries);
+
+    for c in 0..cfg.query_checkpoints {
+        let start = c * window;
+        let end = if c + 1 == cfg.query_checkpoints {
+            cfg.num_queries
+        } else {
+            start + window
+        };
+        let mut direct = 0usize;
+        for q in start..end {
+            let out = match kind {
+                QueryType::Point => client.point_query(&mut cluster, points[q]),
+                QueryType::Window => client.window_query(&mut cluster, windows[q]),
+            };
+            if out.direct {
+                direct += 1;
+            }
+            known_curve.push(client.image.known_servers() as f64 / cluster.num_servers() as f64);
+        }
+        let delta = cluster.stats.since(&base);
+        checkpoints.push(QueryCheckpoint {
+            queries: end,
+            total_msgs: delta.total,
+            direct_rate: direct as f64 / (end - start).max(1) as f64,
+            known_frac: client.image.known_servers() as f64 / cluster.num_servers() as f64,
+        });
+    }
+
+    let final_per_server = cluster.stats.per_server_snapshot();
+    let per_server: Vec<u64> = final_per_server
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v - base_per_server.get(i).copied().unwrap_or(0))
+        .collect();
+    let server_levels = cluster
+        .servers()
+        .iter()
+        .map(|s| s.routing.as_ref().map(|r| r.height).unwrap_or(0))
+        .collect();
+
+    QueryRun {
+        variant,
+        kind,
+        checkpoints,
+        per_server,
+        server_levels,
+        known_curve,
+    }
+}
+
+/// Groups per-server message counts by tree level and returns, per
+/// level, the average share of total messages *per server* (the metric
+/// behind Figures 9 and 14).
+pub fn level_distribution(per_server: &[u64], levels: &[u32]) -> Vec<(u32, usize, f64)> {
+    let total: u64 = per_server.iter().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut by_level: HashMap<u32, (usize, u64)> = HashMap::new();
+    for (i, msgs) in per_server.iter().enumerate() {
+        let level = levels.get(i).copied().unwrap_or(0);
+        let e = by_level.entry(level).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += msgs;
+    }
+    let mut out: Vec<(u32, usize, f64)> = by_level
+        .into_iter()
+        .map(|(level, (n, msgs))| (level, n, (msgs as f64 / total as f64) * 100.0 / n as f64))
+        .collect();
+    out.sort_by_key(|(level, _, _)| std::cmp::Reverse(*level));
+    out
+}
+
+/// Caches expensive runs so experiments that share a workload (Fig. 8,
+/// Table 1, Fig. 10 all use the same six insertion runs) pay once.
+#[derive(Default)]
+pub struct Workbench {
+    insert_runs: HashMap<(Variant, Dist), InsertRun>,
+    query_runs: HashMap<(Variant, QueryType), QueryRun>,
+}
+
+impl Workbench {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Workbench::default()
+    }
+
+    /// The (cached) insertion run for a variant/distribution pair.
+    pub fn inserts(&mut self, cfg: &ExpConfig, variant: Variant, dist: Dist) -> &InsertRun {
+        self.insert_runs.entry((variant, dist)).or_insert_with(|| {
+            eprintln!(
+                "  [run] {} inserts, {} data",
+                variant_label(variant),
+                dist.label()
+            );
+            run_inserts(cfg, variant, dist)
+        })
+    }
+
+    /// The (cached) query run for a variant/type pair.
+    pub fn queries(&mut self, cfg: &ExpConfig, variant: Variant, kind: QueryType) -> &QueryRun {
+        self.query_runs.entry((variant, kind)).or_insert_with(|| {
+            eprintln!(
+                "  [run] {} {} queries",
+                variant_label(variant),
+                kind.label()
+            );
+            run_queries(cfg, variant, kind)
+        })
+    }
+}
+
+/// A printable, CSV-exportable result table.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment id (e.g. `fig8a`), used as the CSV file stem.
+    pub name: String,
+    /// A one-line description printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates a report.
+    pub fn new(name: &str, title: &str, columns: &[&str]) -> Self {
+        Report {
+            name: name.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.columns.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders to stdout as an aligned table.
+    pub fn print(&self) {
+        println!("\n== {} — {}", self.name, self.title);
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        println!("{}", header.join("  "));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            println!("{}", line.join("  "));
+        }
+    }
+
+    /// Writes `name.csv` into `dir` (created if needed).
+    pub fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(format!("{}.csv", self.name)))?;
+        writeln!(f, "{}", self.columns.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+
+    /// Prints and, if an output directory is configured, exports.
+    pub fn emit(&self, cfg: &ExpConfig) {
+        self.print();
+        if let Some(dir) = &cfg.out_dir {
+            if let Err(e) = self.write_csv(dir) {
+                eprintln!("warning: could not write {}.csv: {e}", self.name);
+            }
+        }
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Generates a data rectangle set identical to the experiment's
+/// distribution (exposed for criterion benches).
+pub fn dataset(n: usize, dist: Dist, seed: u64) -> Vec<Rect> {
+    DatasetSpec::new(n, dist.distribution()).generate(seed)
+}

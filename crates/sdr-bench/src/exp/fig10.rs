@@ -1,0 +1,50 @@
+//! Figure 10: cost of balancing — cumulative height-adjustment and
+//! rotation messages as insertions proceed, for (a) uniform and (b)
+//! skewed data.
+//!
+//! Expected shape (paper §5.1): with capacity 3,000 and 500k uniform
+//! insertions, ~440 adjustment messages and **zero** rotations (~1
+//! message per 1,000 insertions); skewed data needs more adjustments
+//! (~640) plus some rotations (~310) — ~1 message per 500 insertions.
+
+use crate::exp::common::{Dist, ExpConfig, Report, Workbench};
+use sdr_core::Variant;
+
+/// Runs Figure 10(a) or 10(b).
+pub fn run(cfg: &ExpConfig, wb: &mut Workbench, dist: Dist) -> Report {
+    let name = match dist {
+        Dist::Uniform => "fig10a",
+        Dist::Skewed => "fig10b",
+    };
+    let mut report = Report::new(
+        name,
+        &format!(
+            "balancing overhead: adjustment and rotation messages ({})",
+            dist.label()
+        ),
+        &[
+            "insertions",
+            "adjust",
+            "rotation",
+            "splits",
+            "oc",
+            "per-insert",
+        ],
+    );
+    let run = wb.inserts(cfg, Variant::ImClient, dist);
+    for c in &run.checkpoints {
+        let measured = (c.inserted - cfg.init_objects) as f64;
+        report.row(vec![
+            c.inserted.to_string(),
+            c.adjust_msgs.to_string(),
+            c.rotation_msgs.to_string(),
+            c.split_msgs.to_string(),
+            c.oc_msgs.to_string(),
+            format!(
+                "{:.4}",
+                (c.adjust_msgs + c.rotation_msgs) as f64 / measured.max(1.0)
+            ),
+        ]);
+    }
+    report
+}

@@ -1,0 +1,40 @@
+//! Figure 11: convergence of the client image — fraction of servers the
+//! client knows after each batch of queries.
+//!
+//! Expected shape (paper §5.1): logarithmic acquisition — ~50 % of the
+//! servers known after ~30 queries, ~80 % after ~200 (each early query
+//! explores a path not yet recorded; repeats become common quickly).
+
+use crate::exp::common::{ExpConfig, QueryType, Report, Workbench};
+use sdr_core::Variant;
+
+/// Runs Figure 11.
+pub fn run(cfg: &ExpConfig, wb: &mut Workbench) -> Report {
+    let mut report = Report::new(
+        "fig11",
+        "client image convergence (IMCLIENT point queries)",
+        &["queries", "servers known (%)"],
+    );
+    let run = wb.queries(cfg, Variant::ImClient, QueryType::Point);
+    // Log-spaced sample points: the curve is steep at the start.
+    let n = run.known_curve.len();
+    let mut samples: Vec<usize> = vec![1, 2, 3, 5, 10, 15, 20, 30, 50, 75, 100, 150, 200, 300, 500]
+        .into_iter()
+        .filter(|q| *q <= n)
+        .collect();
+    let mut q = 750;
+    while q <= n {
+        samples.push(q);
+        q += 250;
+    }
+    if samples.last() != Some(&n) && n > 0 {
+        samples.push(n);
+    }
+    for q in samples {
+        report.row(vec![
+            q.to_string(),
+            format!("{:.1}", run.known_curve[q - 1] * 100.0),
+        ]);
+    }
+    report
+}

@@ -1,0 +1,52 @@
+//! Figure 12: query answering cost — cumulative messages for (a) point
+//! queries and (b) window queries, per variant, against a 200k-object
+//! uniform tree.
+//!
+//! Expected shape (paper §5.2): image variants grow linearly after a
+//! short acquisition phase; IMCLIENT saves ~65 % over BASIC on point
+//! queries (~3 messages per point query on average) and ~50–60 % on
+//! window queries (~8 messages per window query); window queries cost
+//! about twice as much as point queries.
+
+use crate::exp::common::{ExpConfig, QueryType, Report, Workbench};
+use sdr_core::Variant;
+
+/// Runs Figure 12(a) (`Point`) or 12(b) (`Window`).
+pub fn run(cfg: &ExpConfig, wb: &mut Workbench, kind: QueryType) -> Report {
+    let name = match kind {
+        QueryType::Point => "fig12a",
+        QueryType::Window => "fig12b",
+    };
+    let mut report = Report::new(
+        name,
+        &format!("cumulative messages for {} queries", kind.label()),
+        &["queries", "BASIC", "IMSERVER", "IMCLIENT"],
+    );
+    let series: Vec<Vec<(usize, u64)>> = [Variant::Basic, Variant::ImServer, Variant::ImClient]
+        .iter()
+        .map(|v| {
+            wb.queries(cfg, *v, kind)
+                .checkpoints
+                .iter()
+                .map(|c| (c.queries, c.total_msgs))
+                .collect()
+        })
+        .collect();
+    for (i, (checkpoint, basic)) in series[0].iter().enumerate() {
+        report.row(vec![
+            checkpoint.to_string(),
+            basic.to_string(),
+            series[1][i].1.to_string(),
+            series[2][i].1.to_string(),
+        ]);
+    }
+    let mut tail = vec!["avg/query".to_string()];
+    for s in &series {
+        tail.push(format!(
+            "{:.2}",
+            s.last().unwrap().1 as f64 / cfg.num_queries as f64
+        ));
+    }
+    report.row(tail);
+    report
+}

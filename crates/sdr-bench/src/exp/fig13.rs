@@ -1,0 +1,39 @@
+//! Figure 13: rate of correct matches for point queries — how often the
+//! image sends the query straight to the right data node.
+//!
+//! Expected shape (paper §5.2): IMCLIENT reaches ~80 % correct matches
+//! within ~200 queries and keeps climbing; IMSERVER needs ~1,500 queries
+//! for 80 % and ~2,500 for 95 % (each server sees only 1/N of the
+//! workload, so its image converges N times slower).
+
+use crate::exp::common::{ExpConfig, QueryType, Report, Workbench};
+use sdr_core::Variant;
+
+/// Runs Figure 13.
+pub fn run(cfg: &ExpConfig, wb: &mut Workbench) -> Report {
+    let mut report = Report::new(
+        "fig13",
+        "rate of direct matches for point queries (per checkpoint window, %)",
+        &["queries", "IMSERVER", "IMCLIENT"],
+    );
+    let imserver: Vec<(usize, f64)> = wb
+        .queries(cfg, Variant::ImServer, QueryType::Point)
+        .checkpoints
+        .iter()
+        .map(|c| (c.queries, c.direct_rate))
+        .collect();
+    let imclient: Vec<(usize, f64)> = wb
+        .queries(cfg, Variant::ImClient, QueryType::Point)
+        .checkpoints
+        .iter()
+        .map(|c| (c.queries, c.direct_rate))
+        .collect();
+    for i in 0..imserver.len() {
+        report.row(vec![
+            imserver[i].0.to_string(),
+            format!("{:.1}", imserver[i].1 * 100.0),
+            format!("{:.1}", imclient[i].1 * 100.0),
+        ]);
+    }
+    report
+}

@@ -1,0 +1,45 @@
+//! Figure 14: distribution of query messages across servers, by tree
+//! level — the load-balancing picture for queries.
+//!
+//! Expected shape (paper §5.2): same as for insertions (Figure 9) — the
+//! BASIC variant concentrates load on the root path; the image variants
+//! spread it almost evenly across the leaves.
+
+use crate::exp::common::{level_distribution, ExpConfig, QueryType, Report, Workbench};
+use sdr_core::Variant;
+
+/// Runs Figure 14.
+pub fn run(cfg: &ExpConfig, wb: &mut Workbench) -> Report {
+    let mut report = Report::new(
+        "fig14",
+        "share of point-query messages per server, by routing-node level (%)",
+        &["level", "BASIC", "IMSERVER", "IMCLIENT"],
+    );
+    let dists: Vec<Vec<(u32, usize, f64)>> = [Variant::Basic, Variant::ImServer, Variant::ImClient]
+        .iter()
+        .map(|v| {
+            let run = wb.queries(cfg, *v, QueryType::Point);
+            level_distribution(&run.per_server, &run.server_levels)
+        })
+        .collect();
+    let max_level = dists
+        .iter()
+        .flat_map(|d| d.iter().map(|(l, _, _)| *l))
+        .max()
+        .unwrap_or(0);
+    for level in (0..=max_level).rev() {
+        let cell = |d: &Vec<(u32, usize, f64)>| {
+            d.iter()
+                .find(|(l, _, _)| *l == level)
+                .map(|(_, _, share)| format!("{share:.2}"))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        report.row(vec![
+            level.to_string(),
+            cell(&dists[0]),
+            cell(&dists[1]),
+            cell(&dists[2]),
+        ]);
+    }
+    report
+}

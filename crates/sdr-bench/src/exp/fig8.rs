@@ -1,0 +1,51 @@
+//! Figure 8: total number of messages for data insertion, per variant —
+//! (a) uniform data, (b) skewed data.
+//!
+//! Expected shape (paper §5.1): BASIC ≫ IMSERVER > IMCLIENT; IMSERVER
+//! saves ~25 % over BASIC on uniform data and ~40 % on skewed data;
+//! IMCLIENT converges to ~1 message per insertion.
+
+use crate::exp::common::{variant_label, Dist, ExpConfig, Report, Workbench};
+use sdr_core::Variant;
+
+/// Runs Figure 8(a) or 8(b).
+pub fn run(cfg: &ExpConfig, wb: &mut Workbench, dist: Dist) -> Report {
+    let name = match dist {
+        Dist::Uniform => "fig8a",
+        Dist::Skewed => "fig8b",
+    };
+    let mut report = Report::new(
+        name,
+        &format!("cumulative messages for insertions ({} data)", dist.label()),
+        &["insertions", "BASIC", "IMSERVER", "IMCLIENT"],
+    );
+    let variants = [Variant::Basic, Variant::ImServer, Variant::ImClient];
+    let series: Vec<Vec<(usize, u64)>> = variants
+        .iter()
+        .map(|v| {
+            wb.inserts(cfg, *v, dist)
+                .checkpoints
+                .iter()
+                .map(|c| (c.inserted, c.total_msgs))
+                .collect()
+        })
+        .collect();
+    for (i, (checkpoint, basic)) in series[0].iter().enumerate() {
+        report.row(vec![
+            checkpoint.to_string(),
+            basic.to_string(),
+            series[1][i].1.to_string(),
+            series[2][i].1.to_string(),
+        ]);
+    }
+    // Summary line: average messages per insertion over the whole
+    // measured phase.
+    let measured = (cfg.total_objects - cfg.init_objects) as f64;
+    let mut tail = vec!["avg/insert".to_string()];
+    for s in &series {
+        tail.push(format!("{:.2}", s.last().unwrap().1 as f64 / measured));
+    }
+    report.row(tail);
+    let _ = variants.map(variant_label); // labels embedded in columns
+    report
+}

@@ -1,0 +1,46 @@
+//! Figure 9: distribution of insertion messages with respect to the
+//! position (level) of the receiving server's routing node.
+//!
+//! Expected shape (paper §5.1): under BASIC, a server with a routing
+//! node at level n receives about twice the messages of a level-(n−1)
+//! server (the root handled 12.67 % of all messages in the paper's run);
+//! IMSERVER and IMCLIENT flatten the distribution almost completely.
+
+use crate::exp::common::{level_distribution, Dist, ExpConfig, Report, Workbench};
+use sdr_core::Variant;
+
+/// Runs Figure 9.
+pub fn run(cfg: &ExpConfig, wb: &mut Workbench) -> Report {
+    let mut report = Report::new(
+        "fig9",
+        "share of insertion messages per server, by routing-node level (%)",
+        &["level", "BASIC", "IMSERVER", "IMCLIENT"],
+    );
+    let dists: Vec<Vec<(u32, usize, f64)>> = [Variant::Basic, Variant::ImServer, Variant::ImClient]
+        .iter()
+        .map(|v| {
+            let run = wb.inserts(cfg, *v, Dist::Uniform);
+            level_distribution(&run.per_server, &run.server_levels)
+        })
+        .collect();
+    let max_level = dists
+        .iter()
+        .flat_map(|d| d.iter().map(|(l, _, _)| *l))
+        .max()
+        .unwrap_or(0);
+    for level in (0..=max_level).rev() {
+        let cell = |d: &Vec<(u32, usize, f64)>| {
+            d.iter()
+                .find(|(l, _, _)| *l == level)
+                .map(|(_, _, share)| format!("{share:.2}"))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        report.row(vec![
+            level.to_string(),
+            cell(&dists[0]),
+            cell(&dists[1]),
+            cell(&dists[2]),
+        ]);
+    }
+    report
+}

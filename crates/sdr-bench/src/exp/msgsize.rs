@@ -1,0 +1,72 @@
+//! Message-size measurement — validating §5's claim that "the size of
+//! the messages remains, as expected, so small (at most a few hundreds
+//! of bytes) that this can be considered as negligible".
+//!
+//! Every server-bound message of a representative workload (inserts with
+//! splits, then point and window queries) is encoded with the `sdr-net`
+//! wire codec and its frame size recorded per category. Bulk transfers
+//! (`SplitCreate` relocating half a data node) are the one expected
+//! exception, reported separately — they are proportional to capacity,
+//! not to the structure.
+
+use crate::exp::common::{dataset, Dist, ExpConfig, Report};
+use sdr_core::{Client, ClientId, Cluster, MsgCategory, Object, Oid, Variant};
+use sdr_net::encode_message;
+use sdr_workload::{PointSpec, WindowSpec};
+use std::cell::RefCell;
+
+thread_local! {
+    static SIZES: RefCell<Vec<(MsgCategory, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn tap(msg: &sdr_core::Message) {
+    let len = encode_message(msg).len();
+    SIZES.with(|s| s.borrow_mut().push((msg.payload.category(), len)));
+}
+
+/// Runs the message-size experiment.
+pub fn run(cfg: &ExpConfig) -> Report {
+    SIZES.with(|s| s.borrow_mut().clear());
+    let n = cfg.query_tree_objects / 4;
+    let data = dataset(n, Dist::Uniform, cfg.seed);
+    let mut cluster = Cluster::new(cfg.sdr());
+    cluster.set_tap(tap);
+    let mut client = Client::new(ClientId(0), Variant::ImClient, cfg.seed);
+    for (i, r) in data.iter().enumerate() {
+        client.insert(&mut cluster, Object::new(Oid(i as u64), *r));
+    }
+    for p in PointSpec::uniform().generate(200, cfg.seed ^ 1) {
+        client.point_query(&mut cluster, p);
+    }
+    for w in WindowSpec::paper_default().generate(200, cfg.seed ^ 2) {
+        client.window_query(&mut cluster, w);
+    }
+
+    let sizes = SIZES.with(|s| s.borrow().clone());
+    let mut report = Report::new(
+        "msgsize",
+        "wire-encoded message sizes per category (bytes)",
+        &["category", "count", "min", "median", "p99", "max"],
+    );
+    for cat in MsgCategory::ALL {
+        let mut v: Vec<usize> = sizes
+            .iter()
+            .filter(|(c, _)| *c == cat)
+            .map(|(_, l)| *l)
+            .collect();
+        if v.is_empty() {
+            continue;
+        }
+        v.sort_unstable();
+        let pct = |p: f64| v[((v.len() - 1) as f64 * p) as usize];
+        report.row(vec![
+            format!("{cat:?}"),
+            v.len().to_string(),
+            v[0].to_string(),
+            pct(0.5).to_string(),
+            pct(0.99).to_string(),
+            v[v.len() - 1].to_string(),
+        ]);
+    }
+    report
+}

@@ -1,0 +1,51 @@
+//! Ablation: the two termination protocols of §4.3.
+//!
+//! The paper describes both the *direct reply* protocol (used in its
+//! evaluation) and the *reverse path* protocol ("each path followed by
+//! the query ... has to be traversed twice") but only measures the
+//! former. This experiment quantifies the difference: the reverse-path
+//! protocol adds one server-to-server aggregate message per traversal
+//! hop, roughly doubling the server-message cost of fan-out-heavy window
+//! queries, in exchange for a single reply to the client.
+
+use crate::exp::common::{build_query_tree, ExpConfig, Report};
+use sdr_core::{Client, ClientId, ReplyProtocol, Variant};
+use sdr_workload::WindowSpec;
+
+/// Runs the termination-protocol ablation.
+pub fn run(cfg: &ExpConfig) -> Report {
+    let mut report = Report::new(
+        "protocols",
+        "termination protocols: server messages and client replies per window query",
+        &["protocol", "server msgs/query", "client msgs/query"],
+    );
+    let n_queries = (cfg.num_queries / 3).max(50);
+    let windows = WindowSpec::paper_default().generate(n_queries, cfg.seed ^ 0x66);
+
+    for protocol in [
+        ReplyProtocol::Direct,
+        ReplyProtocol::ReversePath,
+        ReplyProtocol::Probabilistic,
+    ] {
+        let mut cluster = build_query_tree(cfg);
+        let mut client = Client::new(ClientId(0), Variant::ImClient, cfg.seed ^ 0x77);
+        client.protocol = protocol;
+        let base = cluster.stats.snapshot();
+        let base_clients = cluster.stats.to_clients();
+        for w in &windows {
+            client.window_query(&mut cluster, *w);
+        }
+        let delta = cluster.stats.since(&base);
+        let client_msgs = cluster.stats.to_clients() - base_clients;
+        report.row(vec![
+            match protocol {
+                ReplyProtocol::Direct => "direct".to_string(),
+                ReplyProtocol::ReversePath => "reverse-path".to_string(),
+                ReplyProtocol::Probabilistic => "probabilistic".to_string(),
+            },
+            format!("{:.2}", delta.total as f64 / n_queries as f64),
+            format!("{:.2}", client_msgs as f64 / n_queries as f64),
+        ]);
+    }
+    report
+}

@@ -1,0 +1,59 @@
+//! Table 1: per-checkpoint characteristics of the structure — number of
+//! servers, height, average load, and average messages per insertion for
+//! BASIC / IMSERVER / IMCLIENT, on uniform and skewed data.
+//!
+//! Expected shape (paper §5.1): height follows `2^(h-1) < N ≤ 2^h` for
+//! uniform data (slightly taller for skewed), load ≈ ln 2 ≈ 70 %,
+//! BASIC ≈ height messages per insert, IMSERVER ≈ height − 3,
+//! IMCLIENT → 3 then ~1–3.
+
+use crate::exp::common::{Dist, ExpConfig, Report, Workbench};
+use sdr_core::Variant;
+
+/// Runs Table 1 for one distribution.
+pub fn run(cfg: &ExpConfig, wb: &mut Workbench, dist: Dist) -> Report {
+    let name = match dist {
+        Dist::Uniform => "table1_uniform",
+        Dist::Skewed => "table1_skewed",
+    };
+    let mut report = Report::new(
+        name,
+        &format!(
+            "structure characteristics and per-insert message costs ({})",
+            dist.label()
+        ),
+        &[
+            "objects", "servers", "height", "load(%)", "BASIC", "IMSERVER", "IMCLIENT",
+        ],
+    );
+    // Structural columns come from the BASIC run (all variants build
+    // statistically identical trees from the same data).
+    let structural: Vec<_> = wb
+        .inserts(cfg, Variant::Basic, dist)
+        .checkpoints
+        .iter()
+        .map(|c| (c.inserted, c.servers, c.height, c.load))
+        .collect();
+    let per_variant: Vec<Vec<f64>> = [Variant::Basic, Variant::ImServer, Variant::ImClient]
+        .iter()
+        .map(|v| {
+            wb.inserts(cfg, *v, dist)
+                .checkpoints
+                .iter()
+                .map(|c| c.window_msgs as f64 / c.window_inserts.max(1) as f64)
+                .collect()
+        })
+        .collect();
+    for (i, (objects, servers, height, load)) in structural.iter().enumerate() {
+        report.row(vec![
+            objects.to_string(),
+            servers.to_string(),
+            height.to_string(),
+            format!("{:.1}", load * 100.0),
+            format!("{:.2}", per_variant[0][i]),
+            format!("{:.2}", per_variant[1][i]),
+            format!("{:.2}", per_variant[2][i]),
+        ]);
+    }
+    report
+}

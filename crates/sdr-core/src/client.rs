@@ -1,0 +1,504 @@
+//! The client component (§3.1): the application-side entry point that
+//! addresses the distributed tree through its image.
+//!
+//! A [`Client`] runs one of the paper's three addressing variants (§5):
+//!
+//! * [`Variant::Basic`] — no image anywhere; every request goes to the
+//!   server hosting the root node (the unscalable comparison baseline).
+//! * [`Variant::ImClient`] — the main scheme: the client maintains an
+//!   image corrected by IAMs.
+//! * [`Variant::ImServer`] — the client ships each request to a randomly
+//!   chosen contact server, which routes it with *its* image ("many
+//!   light-memory clients (e.g., PDA) address queries to a cluster").
+
+use crate::cluster::Cluster;
+use crate::ids::{ClientId, NodeKind, Oid, QueryId, ServerId};
+use crate::image::Image;
+use crate::msg::{
+    ClientOp, Endpoint, ImageHolder, Message, Payload, QueryKind, QueryMode, QueryMsg,
+    ReplyProtocol,
+};
+use crate::node::Object;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdr_geom::{Point, Rect};
+
+/// The addressing variant a client runs (§5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Everything through the root server; no images.
+    Basic,
+    /// Image on the client, corrected by IAMs. The paper's main scheme.
+    ImClient,
+    /// Image on a random contact server per request.
+    ImServer,
+}
+
+/// Outcome of a single insertion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Whether the first contacted server stored the object (no
+    /// out-of-range path) — the metric behind the "direct match" rates
+    /// of §5.1.
+    pub direct: bool,
+    /// Server-addressed messages this insertion cost.
+    pub messages: u64,
+}
+
+/// Outcome of a query.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// Matching objects, de-duplicated by oid.
+    pub results: Vec<Object>,
+    /// Whether the initially addressed data node covered the query
+    /// (Figure 13's "correct match").
+    pub direct: bool,
+    /// Server-addressed messages this query cost.
+    pub messages: u64,
+}
+
+/// A client component.
+#[derive(Debug)]
+pub struct Client {
+    /// This client's id.
+    pub id: ClientId,
+    /// The client's image of the distributed tree (used by IMCLIENT).
+    pub image: Image,
+    /// The addressing variant.
+    pub variant: Variant,
+    /// Termination protocol for queries (§4.3); the paper's experiments
+    /// use the direct protocol.
+    pub protocol: ReplyProtocol,
+    /// The initial contact server ("Initially a client C knows only its
+    /// contact server", §3.1).
+    pub contact: ServerId,
+    next_qid: u64,
+    rng: StdRng,
+}
+
+impl Client {
+    /// Creates a client. `seed` drives the IMSERVER random contact
+    /// choice, keeping runs reproducible.
+    pub fn new(id: ClientId, variant: Variant, seed: u64) -> Self {
+        Client {
+            id,
+            image: Image::new(),
+            variant,
+            protocol: ReplyProtocol::Direct,
+            contact: ServerId(0),
+            next_qid: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn qid(&mut self) -> QueryId {
+        self.next_query_id()
+    }
+
+    /// Allocates a fresh query id: the client id in the high 32 bits, a
+    /// per-client counter in the low 32 (wrapping — a collision would
+    /// need 2³² *concurrently outstanding* operations).
+    pub(crate) fn next_query_id(&mut self) -> QueryId {
+        self.next_qid = (self.next_qid + 1) & 0xFFFF_FFFF;
+        QueryId(((self.id.0 as u64) << 32) | self.next_qid)
+    }
+
+    fn endpoint(&self) -> Endpoint {
+        Endpoint::Client(self.id)
+    }
+
+    fn random_server(&mut self, cluster: &Cluster) -> ServerId {
+        ServerId(self.rng.gen_range(0..cluster.num_servers() as u32))
+    }
+
+    // --------------------------------------------------------- inserts --
+
+    /// Inserts an object, driving the cluster to quiescence.
+    pub fn insert(&mut self, cluster: &mut Cluster, obj: Object) -> InsertOutcome {
+        let snap = cluster.stats.snapshot();
+        let (initial, chosen) = self.build_insert(cluster, obj);
+        cluster.post(initial);
+        let inbox = cluster.drain();
+        // An ack arrives iff the insertion took an out-of-range path.
+        let mut direct = true;
+        for msg in inbox {
+            if let Payload::InsertAck { trace, .. } = msg.payload {
+                direct = false;
+                if self.variant == Variant::ImClient {
+                    self.image.absorb(&trace);
+                }
+            }
+        }
+        // Evict the link that mis-addressed (see run_query's note).
+        if !direct {
+            if let Some(node) = chosen {
+                self.image.forget(node);
+            }
+        }
+        InsertOutcome {
+            direct,
+            messages: cluster.stats.since(&snap).total,
+        }
+    }
+
+    /// Builds the initial insertion message and, for image-addressed
+    /// variants, reports which image link was used.
+    fn build_insert(
+        &mut self,
+        cluster: &mut Cluster,
+        obj: Object,
+    ) -> (Message, Option<crate::ids::NodeRef>) {
+        match self.variant {
+            Variant::Basic => {
+                let root = cluster.root_node();
+                let payload = match root.kind {
+                    NodeKind::Data => Payload::InsertAtLeaf {
+                        obj,
+                        trace: vec![],
+                        iam_to: ImageHolder::Nobody,
+                        initial: true,
+                    },
+                    NodeKind::Routing => Payload::InsertAscend {
+                        obj,
+                        trace: vec![],
+                        iam_to: ImageHolder::Nobody,
+                        initial: true,
+                    },
+                };
+                (
+                    Message {
+                        from: self.endpoint(),
+                        to: Endpoint::Server(root.server),
+                        payload,
+                    },
+                    None,
+                )
+            }
+            Variant::ImClient => {
+                let iam_to = ImageHolder::Client(self.id);
+                match self.image.choose(&obj.mbb) {
+                    Some(link) if link.is_data() => (
+                        Message {
+                            from: self.endpoint(),
+                            to: Endpoint::Server(link.node.server),
+                            payload: Payload::InsertAtLeaf {
+                                obj,
+                                trace: vec![],
+                                iam_to,
+                                initial: true,
+                            },
+                        },
+                        Some(link.node),
+                    ),
+                    Some(link) => (
+                        Message {
+                            from: self.endpoint(),
+                            to: Endpoint::Server(link.node.server),
+                            payload: Payload::InsertAscend {
+                                obj,
+                                trace: vec![],
+                                iam_to,
+                                initial: true,
+                            },
+                        },
+                        Some(link.node),
+                    ),
+                    None => (
+                        Message {
+                            from: self.endpoint(),
+                            to: Endpoint::Server(self.contact),
+                            payload: Payload::InsertAtLeaf {
+                                obj,
+                                trace: vec![],
+                                iam_to,
+                                initial: true,
+                            },
+                        },
+                        None,
+                    ),
+                }
+            }
+            Variant::ImServer => {
+                let contact = self.random_server(cluster);
+                (
+                    Message {
+                        from: self.endpoint(),
+                        to: Endpoint::Server(contact),
+                        payload: Payload::Routed {
+                            op: ClientOp::Insert(obj),
+                            results_to: self.id,
+                        },
+                    },
+                    None,
+                )
+            }
+        }
+    }
+
+    // --------------------------------------------------------- queries --
+
+    /// Runs a point query: all objects whose mbb contains `p` (§4.1).
+    pub fn point_query(&mut self, cluster: &mut Cluster, p: Point) -> QueryOutcome {
+        self.run_query(cluster, QueryKind::Point(p))
+    }
+
+    /// Runs a window query: all objects whose mbb intersects `w` (§4.2).
+    pub fn window_query(&mut self, cluster: &mut Cluster, w: Rect) -> QueryOutcome {
+        self.run_query(cluster, QueryKind::Window(w))
+    }
+
+    fn run_query(&mut self, cluster: &mut Cluster, query: QueryKind) -> QueryOutcome {
+        let snap = cluster.stats.snapshot();
+        let qid = self.qid();
+        let region = query.rect();
+        let mut chosen: Option<crate::ids::NodeRef> = None;
+
+        let msg = match self.variant {
+            Variant::ImServer => {
+                let contact = self.random_server(cluster);
+                let op = match query {
+                    QueryKind::Point(p) => ClientOp::Point(p, qid),
+                    QueryKind::Window(w) => ClientOp::Window(w, qid),
+                };
+                Message {
+                    from: self.endpoint(),
+                    to: Endpoint::Server(contact),
+                    payload: Payload::Routed {
+                        op,
+                        results_to: self.id,
+                    },
+                }
+            }
+            _ => {
+                let (target, iam_to) = match self.variant {
+                    Variant::Basic => {
+                        let root = cluster.root_node();
+                        (root, ImageHolder::Nobody)
+                    }
+                    _ => {
+                        // "The client searches its image for a data node
+                        // d whose directory rectangle contains P" (§4.1);
+                        // windows use the general CHOOSEFROMIMAGE.
+                        let picked = match query {
+                            QueryKind::Point(_) => self.image.choose_data(&region),
+                            QueryKind::Window(_) => self.image.choose(&region),
+                        };
+                        chosen = picked.map(|l| l.node);
+                        let target = chosen.unwrap_or(crate::ids::NodeRef::data(self.contact));
+                        (target, ImageHolder::Client(self.id))
+                    }
+                };
+                Message {
+                    from: self.endpoint(),
+                    to: Endpoint::Server(target.server),
+                    payload: Payload::Query(QueryMsg {
+                        target,
+                        query,
+                        region,
+                        mode: QueryMode::Check,
+                        qid,
+                        initial: true,
+                        repaired: false,
+                        iam_carrier: false,
+                        visited: vec![],
+                        results_to: self.id,
+                        iam_to,
+                        protocol: self.protocol,
+                        reply_via: None,
+                        parent_branch: 0,
+                        trace: vec![],
+                    }),
+                }
+            }
+        };
+        cluster.post(msg);
+        let inbox = cluster.drain();
+        let (results, direct) = self.collect_query_replies(qid, inbox);
+        // Self-healing image: the link we chose was wrong (stale dr, or
+        // a dissolved node). Evict it — the IAM already delivered fresh
+        // links for the region, and without eviction a stale *small*
+        // covering rectangle would win CHOOSEFROMIMAGE's pass 1 forever,
+        // paying the repair detour on every future operation there.
+        if !direct {
+            if let Some(node) = chosen {
+                self.image.forget(node);
+            }
+        }
+        QueryOutcome {
+            results,
+            direct,
+            messages: cluster.stats.since(&snap).total,
+        }
+    }
+
+    /// Applies the termination protocol to the drained replies: verifies
+    /// completeness, merges and de-duplicates results, updates the image.
+    fn collect_query_replies(&mut self, qid: QueryId, inbox: Vec<Message>) -> (Vec<Object>, bool) {
+        let mut results: Vec<Object> = Vec::new();
+        let mut direct = false;
+        let mut expected: i64 = 1;
+        let mut received: i64 = 0;
+        let mut got_aggregate = false;
+        for msg in inbox {
+            match msg.payload {
+                Payload::QueryReport {
+                    qid: rq,
+                    results: r,
+                    spawned,
+                    trace,
+                    direct: d,
+                } if rq == qid => {
+                    received += 1;
+                    expected += spawned as i64;
+                    results.extend(r);
+                    if let Some(d) = d {
+                        direct = d;
+                    }
+                    if self.variant == Variant::ImClient {
+                        self.image.absorb(&trace);
+                    }
+                }
+                Payload::QueryAggregate {
+                    qid: rq,
+                    results: r,
+                    trace,
+                    ..
+                } if rq == qid => {
+                    got_aggregate = true;
+                    results.extend(r);
+                    if self.variant == Variant::ImClient {
+                        self.image.absorb(&trace);
+                    }
+                }
+                _ => {}
+            }
+        }
+        match self.protocol {
+            ReplyProtocol::Direct => {
+                assert_eq!(
+                    received, expected,
+                    "direct termination protocol incomplete: {received} of {expected} reports"
+                );
+            }
+            ReplyProtocol::Probabilistic => {
+                // No completion bookkeeping: the result is whatever the
+                // (simulated) timeout collected.
+                direct = true;
+            }
+            ReplyProtocol::ReversePath => {
+                assert!(
+                    got_aggregate,
+                    "reverse-path protocol: no aggregate received"
+                );
+                // With the reverse-path protocol the direct flag is not
+                // reported; callers relying on it use the direct
+                // protocol, as the paper's evaluation does.
+                direct = true;
+            }
+        }
+        dedup_objects(&mut results);
+        (results, direct)
+    }
+
+    // -------------------------------------------------------- deletion --
+
+    /// Deletes an object (oid + exact mbb). Returns whether some server
+    /// removed it, plus the message cost.
+    pub fn delete(&mut self, cluster: &mut Cluster, obj: Object) -> (bool, u64) {
+        let snap = cluster.stats.snapshot();
+        let qid = self.qid();
+        let msg = match self.variant {
+            Variant::ImServer => {
+                let contact = self.random_server(cluster);
+                Message {
+                    from: self.endpoint(),
+                    to: Endpoint::Server(contact),
+                    payload: Payload::Routed {
+                        op: ClientOp::Delete(obj, qid),
+                        results_to: self.id,
+                    },
+                }
+            }
+            _ => {
+                let (target, iam_to) = match self.variant {
+                    Variant::Basic => (cluster.root_node(), ImageHolder::Nobody),
+                    _ => {
+                        let target = self
+                            .image
+                            .choose_data(&obj.mbb)
+                            .map(|l| l.node)
+                            .unwrap_or(crate::ids::NodeRef::data(self.contact));
+                        (target, ImageHolder::Client(self.id))
+                    }
+                };
+                Message {
+                    from: self.endpoint(),
+                    to: Endpoint::Server(target.server),
+                    payload: Payload::Delete {
+                        obj,
+                        qid,
+                        mode: QueryMode::Check,
+                        region: obj.mbb,
+                        visited: vec![],
+                        target,
+                        results_to: self.id,
+                        iam_to,
+                        trace: vec![],
+                    },
+                }
+            }
+        };
+        cluster.post(msg);
+        let inbox = cluster.drain();
+        let mut removed = false;
+        let mut expected: i64 = 1;
+        let mut received: i64 = 0;
+        for m in inbox {
+            if let Payload::DeleteReport {
+                qid: rq,
+                removed: r,
+                spawned,
+                trace,
+            } = m.payload
+            {
+                if rq == qid {
+                    received += 1;
+                    expected += spawned as i64;
+                    removed |= r;
+                    if self.variant == Variant::ImClient {
+                        self.image.absorb(&trace);
+                    }
+                }
+            }
+        }
+        assert_eq!(received, expected, "delete termination incomplete");
+        (removed, cluster.stats.since(&snap).total)
+    }
+}
+
+/// De-duplicates objects by oid, preserving first-seen order. The OC
+/// forwarding can reach a data node through two independent branches
+/// after splits left stale outer links behind; the client-side merge
+/// makes the result a set, as the paper's termination protocols imply.
+pub(crate) fn dedup_objects(objects: &mut Vec<Object>) {
+    let mut seen = std::collections::HashSet::new();
+    objects.retain(|o| seen.insert(o.oid));
+}
+
+/// Allocates sequential oids for tests and examples.
+#[derive(Clone, Debug, Default)]
+pub struct OidGen(u64);
+
+impl OidGen {
+    /// A generator starting at 0.
+    pub fn new() -> Self {
+        OidGen(0)
+    }
+
+    /// The next oid.
+    pub fn next_oid(&mut self) -> Oid {
+        let oid = Oid(self.0);
+        self.0 += 1;
+        oid
+    }
+}

@@ -1,0 +1,242 @@
+//! The in-process cluster simulator.
+//!
+//! The paper's evaluation runs on "a distributed structure simulator
+//! written in C" (§5) and reports message counts. [`Cluster`] is that
+//! substrate: it owns the servers, delivers every point-to-point message
+//! through a FIFO queue, provisions new servers on splits, and meters
+//! everything according to the paper's cost model (see [`crate::stats`]).
+//!
+//! Delivery is synchronous and deterministic: messages are processed in
+//! emission order, and the whole system quiesces between client
+//! operations. This matches the paper's single-operation-at-a-time
+//! experimental regime; concurrent distributed execution is exercised by
+//! the `sdr-net` TCP deployment instead.
+
+use crate::config::SdrConfig;
+use crate::ids::{NodeRef, ServerId};
+use crate::msg::{Endpoint, Message};
+use crate::server::{Outbox, Server};
+use crate::stats::Stats;
+use std::collections::VecDeque;
+
+/// A simulated cluster of SD-Rtree servers.
+///
+/// Server ids are allocated monotonically and **never reused**: an
+/// eliminated server keeps its slot as a tombstone shell. This is a
+/// deliberate trade-off, not an oversight — tombstone-chain termination
+/// (stale images forwarding through dissolved nodes) relies on ids never
+/// resurrecting, and the paper's §3.3 notes deletions "are rare in
+/// practice". A deployment with heavy sustained churn would need an
+/// id-reclamation epoch on top of this (out of scope here, as for the
+/// paper).
+#[derive(Debug)]
+pub struct Cluster {
+    servers: Vec<Server>,
+    queue: VecDeque<Message>,
+    /// Low-priority lane: drained one message at a time, only when the
+    /// main queue is empty (see `Outbox::deferred`).
+    deferred: VecDeque<Message>,
+    /// Message counters (public: the benchmark harness reads them).
+    pub stats: Stats,
+    config: SdrConfig,
+    root_cache: std::cell::Cell<ServerId>,
+    /// Optional observer called for every delivered server-bound
+    /// message — used by the harness to measure wire-encoded message
+    /// sizes (validating §5's "at most a few hundreds of bytes" claim)
+    /// without coupling this crate to the codec.
+    tap: Option<fn(&Message)>,
+}
+
+impl Cluster {
+    /// Creates a cluster with a single empty server, the state before
+    /// the first insertion (Figure 1.A / Figure 2.A).
+    pub fn new(config: SdrConfig) -> Self {
+        config.validate();
+        Cluster {
+            servers: vec![Server::new(ServerId(0), config)],
+            queue: VecDeque::new(),
+            deferred: VecDeque::new(),
+            stats: Stats::new(),
+            config,
+            root_cache: std::cell::Cell::new(ServerId(0)),
+            tap: None,
+        }
+    }
+
+    /// Installs a message observer (see the `tap` field).
+    pub fn set_tap(&mut self, tap: fn(&Message)) {
+        self.tap = Some(tap);
+    }
+
+    /// The configuration servers run with.
+    pub fn config(&self) -> &SdrConfig {
+        &self.config
+    }
+
+    /// Number of servers (N): the tree has N data nodes and N−1 routing
+    /// nodes.
+    pub fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Read access to one server.
+    pub fn server(&self, id: ServerId) -> &Server {
+        &self.servers[id.0 as usize]
+    }
+
+    /// Read access to all servers.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Mutable access for in-process construction (bulk loading).
+    pub(crate) fn server_mut(&mut self, id: ServerId) -> &mut Server {
+        &mut self.servers[id.0 as usize]
+    }
+
+    /// Registers a pre-built server (bulk loading).
+    pub(crate) fn push_server(&mut self, server: Server) {
+        debug_assert_eq!(server.id.0 as usize, self.servers.len());
+        self.servers.push(server);
+    }
+
+    /// Total number of objects stored across all data nodes.
+    pub fn total_objects(&self) -> usize {
+        self.servers
+            .iter()
+            .filter_map(|s| s.data.as_ref())
+            .map(|d| d.len())
+            .sum()
+    }
+
+    /// Height of the distributed tree (0 for a single leaf).
+    pub fn height(&self) -> u32 {
+        let root = self.root_node();
+        match root.kind {
+            crate::ids::NodeKind::Data => 0,
+            crate::ids::NodeKind::Routing => self
+                .server(root.server)
+                .routing
+                .as_ref()
+                .map(|r| r.height)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Average data-node load factor (stored objects / capacity), the
+    /// `load(%)` column of Table 1.
+    pub fn avg_load(&self) -> f64 {
+        let nodes: Vec<usize> = self
+            .servers
+            .iter()
+            .filter_map(|s| s.data.as_ref())
+            .map(|d| d.len())
+            .collect();
+        if nodes.is_empty() {
+            return 0.0;
+        }
+        let total: usize = nodes.iter().sum();
+        total as f64 / (nodes.len() as f64 * self.config.capacity as f64)
+    }
+
+    /// The root node of the distributed tree: the routing node without a
+    /// parent, or — before the first split / after a total elimination —
+    /// the parentless data node.
+    pub fn root_node(&self) -> NodeRef {
+        // Fast path: the cached server still hosts the routing root.
+        if let Some(node) = routing_root_on(&self.servers[self.root_cache.get().0 as usize]) {
+            return node;
+        }
+        for s in &self.servers {
+            if let Some(node) = routing_root_on(s) {
+                self.root_cache.set(s.id);
+                return node;
+            }
+        }
+        // No routing node is the root: the tree is a single data node.
+        for s in &self.servers {
+            if let Some(d) = &s.data {
+                if d.parent.is_none() {
+                    return NodeRef::data(s.id);
+                }
+            }
+        }
+        unreachable!("a non-empty cluster always has a root node");
+    }
+
+    /// Enqueues a message originating at a client.
+    pub fn post(&mut self, msg: Message) {
+        self.queue.push_back(msg);
+    }
+
+    /// Processes the queue to quiescence, returning every client-bound
+    /// message encountered (the caller — a [`crate::client::Client`] —
+    /// interprets acks, reports and IAMs).
+    pub fn drain(&mut self) -> Vec<Message> {
+        let mut to_clients = Vec::new();
+        while let Some(msg) = self
+            .queue
+            .pop_front()
+            .or_else(|| self.deferred.pop_front())
+        {
+            match msg.to {
+                Endpoint::Server(sid) => {
+                    let idx = sid.0 as usize;
+                    assert!(idx < self.servers.len(), "message to unknown server {sid}");
+                    // The paper's cost model: messages between nodes on
+                    // the same server are free.
+                    if msg.from != Endpoint::Server(sid) {
+                        self.stats.record_server_msg(sid, msg.payload.category());
+                        if let Some(tap) = self.tap {
+                            tap(&msg);
+                        }
+                    }
+                    let mut out = Outbox::new(sid, self.servers.len() as u32);
+                    self.servers[idx].handle(msg.from, msg.payload, &mut out);
+                    for id in out.allocated {
+                        debug_assert_eq!(id.0 as usize, self.servers.len());
+                        self.servers.push(Server::bare(id, self.config));
+                    }
+                    self.queue.extend(out.msgs);
+                    self.deferred.extend(out.deferred);
+                }
+                Endpoint::Client(_) => {
+                    self.stats.record_client_msg();
+                    to_clients.push(msg);
+                }
+            }
+        }
+        to_clients
+    }
+
+    // ------------------------------------------------------ inspection --
+
+    /// Runs every structural invariant check (Definition 1 plus the OC
+    /// derivation oracle); panics with a description on violation.
+    /// Test-oriented; cost O(N · depth).
+    pub fn check_invariants(&mut self) {
+        crate::invariants::check_cluster(self);
+    }
+
+    /// Brute-force scan of every stored object — the test oracle.
+    pub fn all_objects(&self) -> Vec<crate::node::Object> {
+        let mut out = Vec::new();
+        for s in &self.servers {
+            if let Some(d) = &s.data {
+                out.extend(
+                    d.tree
+                        .iter()
+                        .map(|e| crate::node::Object::new(e.item, e.rect)),
+                );
+            }
+        }
+        out
+    }
+}
+
+fn routing_root_on(s: &Server) -> Option<NodeRef> {
+    s.routing
+        .as_ref()
+        .filter(|r| r.is_root())
+        .map(|_| NodeRef::routing(s.id))
+}

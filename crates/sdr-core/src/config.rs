@@ -1,0 +1,94 @@
+//! Structure-wide configuration.
+
+use sdr_rtree::{RTreeConfig, SplitPolicy};
+
+/// Configuration of an SD-Rtree deployment.
+#[derive(Clone, Copy, Debug)]
+pub struct SdrConfig {
+    /// Maximum number of objects a server's data node may hold before it
+    /// splits. The paper's experiments use 3,000 (§5); tests use small
+    /// values to force deep trees cheaply.
+    pub capacity: usize,
+    /// Split policy used to divide an overflowing data node's objects in
+    /// two (§2.2 uses the classical R-tree split; R\* is the §7 variant).
+    pub split: SplitPolicy,
+    /// Minimum fill fraction of `capacity` below which a deletion
+    /// triggers node elimination (§3.3 "too few objects"). Set to 0.0 to
+    /// disable elimination.
+    pub min_fill: f64,
+    /// Configuration of each server's local R-tree repository.
+    pub rtree: RTreeConfig,
+}
+
+impl Default for SdrConfig {
+    /// The paper's setting: capacity 3,000, quadratic split, elimination
+    /// below 20 % fill.
+    fn default() -> Self {
+        SdrConfig {
+            capacity: 3_000,
+            split: SplitPolicy::Quadratic,
+            min_fill: 0.2,
+            rtree: RTreeConfig::default(),
+        }
+    }
+}
+
+impl SdrConfig {
+    /// A configuration with the given data-node capacity and defaults
+    /// elsewhere. Useful in tests, where small capacities force deep
+    /// distributed trees from small datasets.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 2, "capacity must allow a meaningful split");
+        SdrConfig {
+            capacity,
+            ..SdrConfig::default()
+        }
+    }
+
+    /// Overrides the split policy.
+    pub fn with_split(mut self, split: SplitPolicy) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// The minimum object count below which elimination triggers.
+    pub fn min_objects(&self) -> usize {
+        (self.capacity as f64 * self.min_fill).floor() as usize
+    }
+
+    /// Validates parameters.
+    pub fn validate(&self) {
+        assert!(self.capacity >= 2, "capacity must be >= 2");
+        assert!(
+            (0.0..=0.5).contains(&self.min_fill),
+            "min_fill must be in [0, 0.5]"
+        );
+        self.rtree.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SdrConfig::default();
+        assert_eq!(c.capacity, 3_000);
+        assert_eq!(c.min_objects(), 600);
+        c.validate();
+    }
+
+    #[test]
+    fn with_capacity_overrides() {
+        let c = SdrConfig::with_capacity(10);
+        assert_eq!(c.capacity, 10);
+        assert_eq!(c.min_objects(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_tiny_capacity() {
+        SdrConfig::with_capacity(1);
+    }
+}

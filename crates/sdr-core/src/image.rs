@@ -1,0 +1,253 @@
+//! The image: a client's (or contact server's) possibly outdated view of
+//! the distributed tree (§3.1).
+//!
+//! "An image is a collection of links. ... Using the image, the
+//! user/application estimates the address of the target server which is
+//! the most likely to store the object." Images are corrected
+//! incrementally by IAMs; they are never authoritative.
+
+use crate::ids::NodeRef;
+use crate::link::Link;
+use sdr_geom::Rect;
+use std::collections::BTreeMap;
+
+/// A collection of links indexed by the node they describe. Newly
+/// received links replace older ones for the same node (IAMs carry
+/// fresher information by construction).
+///
+/// Backed by a `BTreeMap` so tie-breaking in [`Image::choose`] is
+/// deterministic, which keeps every experiment reproducible.
+#[derive(Clone, Debug, Default)]
+pub struct Image {
+    links: BTreeMap<NodeRef, Link>,
+}
+
+impl Image {
+    /// The empty image ("Initially the image of C is empty", §3.2).
+    pub fn new() -> Self {
+        Image::default()
+    }
+
+    /// Records one link, replacing any previous link for the same node.
+    pub fn absorb_link(&mut self, link: Link) {
+        self.links.insert(link.node, link);
+    }
+
+    /// Records every link of an IAM.
+    pub fn absorb(&mut self, trace: &[Link]) {
+        for l in trace {
+            self.absorb_link(*l);
+        }
+    }
+
+    /// Number of links held.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Number of distinct servers known to this image — the convergence
+    /// metric of Figure 11.
+    pub fn known_servers(&self) -> usize {
+        let mut last = None;
+        let mut count = 0;
+        for node in self.links.keys() {
+            if last != Some(node.server) {
+                count += 1;
+                last = Some(node.server);
+            }
+        }
+        count
+    }
+
+    /// Iterates over the stored links.
+    pub fn links(&self) -> impl Iterator<Item = &Link> {
+        self.links.values()
+    }
+
+    /// Drops a link that proved stale (e.g. the referenced node no longer
+    /// exists after an elimination).
+    pub fn forget(&mut self, node: NodeRef) {
+        self.links.remove(&node);
+    }
+
+    /// CHOOSEFROMIMAGE (§3.1): estimates the best node to address for an
+    /// object or query rectangle `mbb`.
+    ///
+    /// 1. Among **data links** whose dr contains `mbb`: the one with the
+    ///    smallest dr (the most accurate candidate — coverage shrinks at
+    ///    each split, so a smaller covering rectangle is likely fresher).
+    /// 2. Otherwise among **routing links** whose dr contains `mbb`: the
+    ///    one with minimal height (smallest subtree), then smallest dr.
+    /// 3. Otherwise the **data link** closest to `mbb` — measured, per
+    ///    the discussion in §5.1, as the smallest necessary enlargement.
+    ///
+    /// Returns `None` on an empty image (the caller falls back to its
+    /// contact server).
+    pub fn choose(&self, mbb: &Rect) -> Option<Link> {
+        // Pass 1: covering data links, smallest area.
+        let mut best: Option<(f64, Link)> = None;
+        for l in self
+            .links
+            .values()
+            .filter(|l| l.is_data() && l.dr.contains(mbb))
+        {
+            let area = l.dr.area();
+            if best.as_ref().is_none_or(|(a, _)| area < *a) {
+                best = Some((area, *l));
+            }
+        }
+        if let Some((_, l)) = best {
+            return Some(l);
+        }
+        // Pass 2: covering routing links, minimal height then area.
+        let mut best: Option<((u32, f64), Link)> = None;
+        for l in self
+            .links
+            .values()
+            .filter(|l| !l.is_data() && l.dr.contains(mbb))
+        {
+            let key = (l.height, l.dr.area());
+            if best.as_ref().is_none_or(|(k, _)| key < *k) {
+                best = Some((key, *l));
+            }
+        }
+        if let Some((_, l)) = best {
+            return Some(l);
+        }
+        // Pass 3: closest data link by necessary enlargement.
+        let mut best: Option<(f64, Link)> = None;
+        for l in self.links.values().filter(|l| l.is_data()) {
+            let enl = l.dr.enlargement(mbb);
+            if best.as_ref().is_none_or(|(e, _)| enl < *e) {
+                best = Some((enl, *l));
+            }
+        }
+        best.map(|(_, l)| l)
+    }
+
+    /// Like [`Image::choose`] but only ever returns data links — used for
+    /// point queries, which the paper targets directly at leaves (§4.1).
+    pub fn choose_data(&self, mbb: &Rect) -> Option<Link> {
+        let mut covering: Option<(f64, Link)> = None;
+        let mut closest: Option<(f64, Link)> = None;
+        for l in self.links.values().filter(|l| l.is_data()) {
+            if l.dr.contains(mbb) {
+                let area = l.dr.area();
+                if covering.as_ref().is_none_or(|(a, _)| area < *a) {
+                    covering = Some((area, *l));
+                }
+            }
+            let enl = l.dr.enlargement(mbb);
+            if closest.as_ref().is_none_or(|(e, _)| enl < *e) {
+                closest = Some((enl, *l));
+            }
+        }
+        covering.or(closest).map(|(_, l)| l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ServerId;
+
+    fn data(server: u32, dr: Rect) -> Link {
+        Link::to_data(ServerId(server), dr)
+    }
+
+    fn routing(server: u32, dr: Rect, h: u32) -> Link {
+        Link::to_routing(ServerId(server), dr, h)
+    }
+
+    #[test]
+    fn absorb_replaces_by_node() {
+        let mut img = Image::new();
+        img.absorb_link(data(1, Rect::new(0.0, 0.0, 1.0, 1.0)));
+        img.absorb_link(data(1, Rect::new(0.0, 0.0, 2.0, 2.0)));
+        assert_eq!(img.len(), 1);
+        assert_eq!(
+            img.links().next().unwrap().dr,
+            Rect::new(0.0, 0.0, 2.0, 2.0)
+        );
+    }
+
+    #[test]
+    fn known_servers_counts_distinct() {
+        let mut img = Image::new();
+        img.absorb_link(data(1, Rect::new(0.0, 0.0, 1.0, 1.0)));
+        img.absorb_link(routing(1, Rect::new(0.0, 0.0, 2.0, 2.0), 1));
+        img.absorb_link(data(2, Rect::new(1.0, 1.0, 2.0, 2.0)));
+        assert_eq!(img.known_servers(), 2);
+    }
+
+    #[test]
+    fn choose_prefers_smallest_covering_data_link() {
+        let mut img = Image::new();
+        img.absorb_link(data(1, Rect::new(0.0, 0.0, 10.0, 10.0)));
+        img.absorb_link(data(2, Rect::new(0.0, 0.0, 2.0, 2.0)));
+        img.absorb_link(routing(3, Rect::new(0.0, 0.0, 1.0, 1.0), 1));
+        let target = Rect::new(0.5, 0.5, 1.0, 1.0);
+        assert_eq!(
+            img.choose(&target).unwrap().node,
+            NodeRef::data(ServerId(2))
+        );
+    }
+
+    #[test]
+    fn choose_falls_back_to_routing_links() {
+        let mut img = Image::new();
+        img.absorb_link(data(1, Rect::new(5.0, 5.0, 6.0, 6.0)));
+        img.absorb_link(routing(2, Rect::new(0.0, 0.0, 4.0, 4.0), 2));
+        img.absorb_link(routing(3, Rect::new(0.0, 0.0, 3.0, 3.0), 1));
+        let target = Rect::new(1.0, 1.0, 2.0, 2.0);
+        // Both routing links cover; the lower one wins.
+        assert_eq!(
+            img.choose(&target).unwrap().node,
+            NodeRef::routing(ServerId(3))
+        );
+    }
+
+    #[test]
+    fn choose_falls_back_to_closest_data_link() {
+        let mut img = Image::new();
+        img.absorb_link(data(1, Rect::new(0.0, 0.0, 1.0, 1.0)));
+        img.absorb_link(data(2, Rect::new(10.0, 10.0, 11.0, 11.0)));
+        let target = Rect::new(11.5, 11.5, 12.0, 12.0);
+        assert_eq!(
+            img.choose(&target).unwrap().node,
+            NodeRef::data(ServerId(2))
+        );
+    }
+
+    #[test]
+    fn choose_empty_image_is_none() {
+        assert_eq!(Image::new().choose(&Rect::new(0.0, 0.0, 1.0, 1.0)), None);
+    }
+
+    #[test]
+    fn choose_data_never_returns_routing() {
+        let mut img = Image::new();
+        img.absorb_link(routing(1, Rect::new(0.0, 0.0, 10.0, 10.0), 3));
+        assert!(img.choose_data(&Rect::new(1.0, 1.0, 2.0, 2.0)).is_none());
+        img.absorb_link(data(2, Rect::new(5.0, 5.0, 6.0, 6.0)));
+        assert_eq!(
+            img.choose_data(&Rect::new(1.0, 1.0, 2.0, 2.0))
+                .unwrap()
+                .node,
+            NodeRef::data(ServerId(2))
+        );
+    }
+
+    #[test]
+    fn forget_removes_links() {
+        let mut img = Image::new();
+        img.absorb_link(data(1, Rect::new(0.0, 0.0, 1.0, 1.0)));
+        img.forget(NodeRef::data(ServerId(1)));
+        assert!(img.is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Structural invariant checking — the test oracle for the whole
+//! distributed structure.
+//!
+//! Verified properties (see DESIGN.md §5):
+//! * Definition 1: binary tree, exact directory rectangles, AVL balance.
+//! * Link caches (`dr`, `height`) in routing nodes match the referenced
+//!   nodes exactly.
+//! * Parent pointers are the inverse of child links.
+//! * Every node's OC table **covers** the root-down derivation of §2.3:
+//!   each derived entry is present with a rectangle at least as large
+//!   (compared by ancestor; cached outer links may lag). Extra or
+//!   enlarged entries are permitted — they arise when a rotation moves a
+//!   subtree while an UPDATEOC diffusion is in flight, and only cost
+//!   redundant query forwarding; a *missing* or under-sized entry would
+//!   lose query results and fails the check.
+//! * No data node exceeds its capacity; every initialized node is
+//!   reachable from the root exactly once.
+
+use crate::cluster::Cluster;
+use crate::ids::{NodeKind, NodeRef, ServerId};
+use crate::link::Link;
+use crate::oc::OcTable;
+use std::collections::HashSet;
+
+/// Runs every invariant check against a quiescent cluster.
+///
+/// # Panics
+///
+/// Panics with a description of the first violated invariant.
+pub fn check_cluster(cluster: &mut Cluster) {
+    let root = cluster.root_node();
+    let mut visited: HashSet<NodeRef> = HashSet::new();
+    check_node(cluster, root, None, None, &OcTable::new(), &mut visited);
+
+    // Every initialized node must have been reached exactly once.
+    for s in cluster.servers() {
+        if s.routing.is_some() {
+            assert!(
+                visited.contains(&NodeRef::routing(s.id)),
+                "routing node r{} is unreachable from the root",
+                s.id.0
+            );
+        }
+        if s.data.is_some() {
+            assert!(
+                visited.contains(&NodeRef::data(s.id)),
+                "data node d{} is unreachable from the root",
+                s.id.0
+            );
+        }
+    }
+}
+
+/// Recursive check. `expected_link` is the parent's cached link (None at
+/// the root); `expected_oc` the derived overlapping coverage. Returns the
+/// subtree height.
+fn check_node(
+    cluster: &Cluster,
+    node: NodeRef,
+    expected_parent: Option<ServerId>,
+    expected_link: Option<Link>,
+    expected_oc: &OcTable,
+    visited: &mut HashSet<NodeRef>,
+) -> u32 {
+    assert!(visited.insert(node), "node {node} reachable twice");
+    let server = cluster.server(node.server);
+    match node.kind {
+        NodeKind::Data => {
+            let d = server
+                .data
+                .as_ref()
+                .unwrap_or_else(|| panic!("link points at missing data node {node}"));
+            assert_eq!(
+                d.parent, expected_parent,
+                "parent pointer mismatch at {node}"
+            );
+            if let Some(link) = expected_link {
+                assert_eq!(Some(link.dr), d.dr, "cached dr mismatch at {node}");
+                assert_eq!(link.height, 0, "data links must have height 0 ({node})");
+            }
+            if let Some(bbox) = d.tree.bbox() {
+                let dr = d.dr.expect("non-empty data node has a dr");
+                assert!(dr.contains(&bbox), "dr does not cover contents at {node}");
+            }
+            assert!(
+                d.len() <= server.config.capacity,
+                "data node {node} over capacity: {} > {}",
+                d.len(),
+                server.config.capacity
+            );
+            assert!(
+                d.oc.covers(expected_oc),
+                "OC under-coverage at {node}: stored {:?}, derived {:?}",
+                d.oc,
+                expected_oc
+            );
+            0
+        }
+        NodeKind::Routing => {
+            let r = server
+                .routing
+                .as_ref()
+                .unwrap_or_else(|| panic!("link points at missing routing node {node}"));
+            assert_eq!(
+                r.parent, expected_parent,
+                "parent pointer mismatch at {node}"
+            );
+            if let Some(link) = expected_link {
+                assert_eq!(link.dr, r.dr, "cached dr mismatch at {node}");
+                assert_eq!(link.height, r.height, "cached height mismatch at {node}");
+            }
+            assert_eq!(
+                r.dr,
+                r.left.dr.union(&r.right.dr),
+                "directory rectangle is not the union of the children at {node}"
+            );
+            assert!(
+                r.oc.covers(expected_oc),
+                "OC under-coverage at {node}: stored {:?}, derived {:?}",
+                r.oc,
+                expected_oc
+            );
+            let left_oc = r.oc.derive_child(node.server, &r.left.dr, &r.right);
+            let right_oc = r.oc.derive_child(node.server, &r.right.dr, &r.left);
+            let hl = check_node(
+                cluster,
+                r.left.node,
+                Some(node.server),
+                Some(r.left),
+                &left_oc,
+                visited,
+            );
+            let hr = check_node(
+                cluster,
+                r.right.node,
+                Some(node.server),
+                Some(r.right),
+                &right_oc,
+                visited,
+            );
+            assert_eq!(hl, r.left.height, "left link height wrong at {node}");
+            assert_eq!(hr, r.right.height, "right link height wrong at {node}");
+            assert!(
+                hl.abs_diff(hr) <= 1,
+                "balance violated at {node}: left {hl}, right {hr}"
+            );
+            assert_eq!(
+                r.height,
+                hl.max(hr) + 1,
+                "height is not max(children) + 1 at {node}"
+            );
+            r.height
+        }
+    }
+}

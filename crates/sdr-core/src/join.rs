@@ -1,0 +1,379 @@
+//! Distributed spatial self-join — the §7 future-work extension.
+//!
+//! Computes every pair of indexed objects whose mbbs intersect, fully
+//! distributed:
+//!
+//! 1. **Broadcast.** `JoinStart` fans out down the tree to every data
+//!    node (one message per tree edge, `O(N)` total).
+//! 2. **Local phase.** Each data node self-joins its repository with its
+//!    local R-tree (`O(n log n)` per node).
+//! 3. **Boundary phase.** Cross-node pairs can only live in the regions
+//!    where two subtrees overlap — which is *exactly* what the
+//!    overlapping-coverage tables record (§2.3). Each data node ships
+//!    the objects intersecting each OC entry's rectangle to the entry's
+//!    outer subtree as a `JoinProbe`; receiving data nodes join the
+//!    probe set against their local objects.
+//!
+//! Double counting is avoided without global coordination: probes flow
+//! in *both* directions across every overlap region, and the receiving
+//! node emits a pair only when `probe.oid < local.oid` — so each cross
+//! pair is produced exactly once, at the node holding its larger oid.
+//! Stale OC outer links are repaired with the same ascend-and-retry
+//! mechanism as queries (plus client-side pair de-duplication for the
+//! rare branch overlap that repair can introduce).
+//!
+//! Termination uses the direct protocol of §4.3: every hop reports its
+//! fan-out; the client counts replies.
+
+use crate::client::{dedup_objects, Client, Variant};
+use crate::cluster::Cluster;
+use crate::ids::{ClientId, NodeKind, NodeRef, Oid, QueryId};
+use crate::msg::{Endpoint, Message, Payload, QueryMode, Trace};
+use crate::node::Object;
+use crate::server::{Outbox, Server};
+use sdr_geom::Rect;
+
+/// Outcome of a distributed spatial self-join.
+#[derive(Clone, Debug)]
+pub struct JoinOutcome {
+    /// Every intersecting pair, `(smaller oid, larger oid)`, sorted.
+    pub pairs: Vec<(Oid, Oid)>,
+    /// Server-addressed messages the join cost.
+    pub messages: u64,
+}
+
+impl Client {
+    /// Runs a distributed spatial self-join: every pair of objects whose
+    /// mbbs intersect.
+    ///
+    /// ```
+    /// use sdr_core::{Client, ClientId, Cluster, Object, Oid, SdrConfig, Variant};
+    /// use sdr_geom::Rect;
+    ///
+    /// let mut cluster = Cluster::new(SdrConfig::with_capacity(10));
+    /// let mut client = Client::new(ClientId(0), Variant::ImClient, 1);
+    /// // Two overlapping chains: (0,1) and (2,3) intersect; nothing else.
+    /// for (i, x) in [0.10, 0.12, 0.50, 0.52].iter().enumerate() {
+    ///     let r = Rect::new(*x, 0.1, x + 0.03, 0.2);
+    ///     client.insert(&mut cluster, Object::new(Oid(i as u64), r));
+    /// }
+    /// let join = client.spatial_join(&mut cluster);
+    /// let pairs: Vec<(u64, u64)> = join.pairs.iter().map(|(a, b)| (a.0, b.0)).collect();
+    /// assert_eq!(pairs, vec![(0, 1), (2, 3)]);
+    /// ```
+    pub fn spatial_join(&mut self, cluster: &mut Cluster) -> JoinOutcome {
+        let snap = cluster.stats.snapshot();
+        let qid = self.next_query_id();
+        let root = cluster.root_node();
+        // The broadcast starts at the root regardless of variant — a
+        // join touches every server, so there is nothing for an image
+        // to shortcut (BASIC, IMCLIENT and IMSERVER behave identically).
+        let _ = self.variant; // variant-independent by design
+        cluster.post(Message {
+            from: Endpoint::Client(self.id),
+            to: Endpoint::Server(root.server),
+            payload: Payload::JoinStart {
+                target: root,
+                qid,
+                results_to: self.id,
+                trace: vec![],
+            },
+        });
+        let inbox = cluster.drain();
+
+        let mut pairs: Vec<(Oid, Oid)> = Vec::new();
+        let mut expected: i64 = 1;
+        let mut received: i64 = 0;
+        for msg in inbox {
+            if let Payload::JoinReport {
+                qid: rq,
+                pairs: p,
+                spawned,
+                trace,
+            } = msg.payload
+            {
+                if rq == qid {
+                    received += 1;
+                    expected += spawned as i64;
+                    pairs.extend(p);
+                    if self.variant == Variant::ImClient {
+                        self.image.absorb(&trace);
+                    }
+                }
+            }
+        }
+        assert_eq!(received, expected, "join termination incomplete");
+        pairs.sort_unstable();
+        pairs.dedup();
+        JoinOutcome {
+            pairs,
+            messages: cluster.stats.since(&snap).total,
+        }
+    }
+
+    /// Distance query (§7 future work): every object within Euclidean
+    /// distance `radius` of `p` (measured to the object's mbb), nearest
+    /// first.
+    pub fn within(
+        &mut self,
+        cluster: &mut Cluster,
+        p: sdr_geom::Point,
+        radius: f64,
+    ) -> Vec<(Oid, f64)> {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        // The ball is contained in its bounding window; a window query
+        // is complete over it, then the exact distance filters.
+        let window = Rect::new(p.x - radius, p.y - radius, p.x + radius, p.y + radius);
+        let mut results = self.window_query(cluster, window).results;
+        dedup_objects(&mut results);
+        let mut out: Vec<(Oid, f64)> = results
+            .into_iter()
+            .filter_map(|o| {
+                let d = o.mbb.min_dist(&p);
+                (d <= radius).then_some((o.oid, d))
+            })
+            .collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+}
+
+impl Server {
+    /// JoinStart: broadcast onward, and at data nodes run the local and
+    /// boundary phases.
+    pub(crate) fn on_join_start(
+        &mut self,
+        target: NodeRef,
+        qid: QueryId,
+        results_to: ClientId,
+        mut trace: Trace,
+        out: &mut Outbox,
+    ) {
+        self.append_iam(&mut trace);
+        let mut spawned = 0u32;
+        let mut pairs: Vec<(Oid, Oid)> = Vec::new();
+        // A dissolved node (elimination) must not silently drop its
+        // subtree from the join: follow the tombstone, like queries do.
+        let missing = match target.kind {
+            NodeKind::Routing => self.routing.is_none(),
+            NodeKind::Data => self.data.is_none(),
+        };
+        if missing {
+            if let Some(t) = self.tombstone(target.kind) {
+                out.send_server(
+                    t.server,
+                    Payload::JoinStart {
+                        target: t,
+                        qid,
+                        results_to,
+                        trace: trace.clone(),
+                    },
+                );
+                spawned += 1;
+            }
+            out.send(
+                Endpoint::Client(results_to),
+                Payload::JoinReport {
+                    qid,
+                    pairs,
+                    spawned,
+                    trace,
+                },
+            );
+            return;
+        }
+        match target.kind {
+            NodeKind::Routing => {
+                if let Some(r) = &self.routing {
+                    for child in [r.left, r.right] {
+                        out.send_server(
+                            child.node.server,
+                            Payload::JoinStart {
+                                target: child.node,
+                                qid,
+                                results_to,
+                                trace: trace.clone(),
+                            },
+                        );
+                        spawned += 1;
+                    }
+                }
+            }
+            NodeKind::Data => {
+                if let Some(d) = &self.data {
+                    // Local phase: each object against the local tree.
+                    for e in d.tree.iter() {
+                        for hit in d.tree.search_window(&e.rect) {
+                            if e.item < hit.item {
+                                pairs.push((e.item, hit.item));
+                            }
+                        }
+                    }
+                    // Boundary phase: probe every overlap region.
+                    let self_node = NodeRef::data(self.id);
+                    for entry in d.oc.entries().to_vec() {
+                        let objects: Vec<Object> = d
+                            .tree
+                            .search_window(&entry.rect)
+                            .into_iter()
+                            .map(|e| Object::new(e.item, e.rect))
+                            .collect();
+                        if objects.is_empty() {
+                            continue;
+                        }
+                        out.send_server(
+                            entry.outer.node.server,
+                            Payload::JoinProbe {
+                                target: entry.outer.node,
+                                objects,
+                                region: entry.rect,
+                                mode: QueryMode::Check,
+                                visited: vec![self_node],
+                                qid,
+                                results_to,
+                                trace: trace.clone(),
+                            },
+                        );
+                        spawned += 1;
+                    }
+                }
+            }
+        }
+        out.send(
+            Endpoint::Client(results_to),
+            Payload::JoinReport {
+                qid,
+                pairs,
+                spawned,
+                trace,
+            },
+        );
+    }
+
+    /// JoinProbe: route the probe set into the target subtree and join
+    /// it against local objects.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_join_probe(
+        &mut self,
+        target: NodeRef,
+        objects: Vec<Object>,
+        region: Rect,
+        mode: QueryMode,
+        visited: Vec<NodeRef>,
+        qid: QueryId,
+        results_to: ClientId,
+        mut trace: Trace,
+        out: &mut Outbox,
+    ) {
+        self.append_iam(&mut trace);
+        let mut spawned = 0u32;
+        let mut pairs: Vec<(Oid, Oid)> = Vec::new();
+
+        let forward = |target: NodeRef,
+                       mode: QueryMode,
+                       visited: &[NodeRef],
+                       from: NodeRef,
+                       out: &mut Outbox| {
+            let mut v = visited.to_vec();
+            if !v.contains(&from) {
+                v.push(from);
+            }
+            out.send_server(
+                target.server,
+                Payload::JoinProbe {
+                    target,
+                    objects: objects.clone(),
+                    region,
+                    mode,
+                    visited: v,
+                    qid,
+                    results_to,
+                    trace: trace.clone(),
+                },
+            );
+        };
+
+        match target.kind {
+            NodeKind::Data => match (&self.data, mode) {
+                (Some(d), _) => {
+                    let covered = d.dr.map(|dr| dr.contains(&region)).unwrap_or(false);
+                    // Join the probes against the local objects in the
+                    // region; emit `probe < local` pairs only (the other
+                    // direction is produced by the symmetric probe).
+                    for probe in &objects {
+                        for hit in d.tree.search_window(&probe.mbb) {
+                            if probe.oid < hit.item {
+                                pairs.push((probe.oid, hit.item));
+                            }
+                        }
+                    }
+                    if !covered && mode != QueryMode::Descend {
+                        // Stale outer link: the region extends beyond
+                        // this (since split) node; repair upward.
+                        if let Some(parent) = d.parent {
+                            forward(
+                                NodeRef::routing(parent),
+                                QueryMode::Ascend,
+                                &visited,
+                                target,
+                                out,
+                            );
+                            spawned += 1;
+                        }
+                    }
+                }
+                (None, _) => {
+                    // Dissolved node: tombstone repair.
+                    if let Some(t) = self.tombstone(NodeKind::Data) {
+                        if !visited.contains(&t) {
+                            forward(t, QueryMode::Check, &visited, target, out);
+                            spawned += 1;
+                        }
+                    }
+                }
+            },
+            NodeKind::Routing => match &self.routing {
+                Some(r) => {
+                    let resolved =
+                        mode == QueryMode::Descend || r.dr.contains(&region) || r.is_root();
+                    if resolved {
+                        let probes_bbox =
+                            Rect::mbb(objects.iter().map(|o| &o.mbb)).unwrap_or(region);
+                        for child in [r.left, r.right] {
+                            if child.dr.intersects(&probes_bbox) {
+                                forward(child.node, QueryMode::Descend, &visited, target, out);
+                                spawned += 1;
+                            }
+                        }
+                    } else if let Some(parent) = r.parent {
+                        forward(
+                            NodeRef::routing(parent),
+                            QueryMode::Ascend,
+                            &visited,
+                            target,
+                            out,
+                        );
+                        spawned += 1;
+                    }
+                }
+                None => {
+                    if let Some(t) = self.tombstone(NodeKind::Routing) {
+                        if !visited.contains(&t) {
+                            forward(t, mode, &visited, target, out);
+                            spawned += 1;
+                        }
+                    }
+                }
+            },
+        }
+        out.send(
+            Endpoint::Client(results_to),
+            Payload::JoinReport {
+                qid,
+                pairs,
+                spawned,
+                trace,
+            },
+        );
+    }
+}

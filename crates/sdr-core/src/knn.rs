@@ -1,0 +1,137 @@
+//! Distributed k-nearest-neighbour queries — the extension the paper
+//! lists as future work (§7: "Future work on SDR-tree should include
+//! other spatial operations: kNN queries, distance queries...").
+//!
+//! The algorithm is a two-phase radius refinement built entirely on the
+//! existing machinery, so it inherits the image-based addressing and the
+//! out-of-range repair for free:
+//!
+//! 1. **Estimate.** Address the data node most likely to contain the
+//!    query point (via the image) and ask for its local k nearest
+//!    neighbours. The k-th local distance bounds the true k-th distance
+//!    from above.
+//! 2. **Verify.** Run a window query over the ball of that radius; every
+//!    object within the true k-th distance intersects this window. If
+//!    fewer than `k` candidates fall inside the radius, double it and
+//!    retry (bounded by the space diagonal).
+//!
+//! Each phase costs the same as the underlying point/window query, so
+//! kNN is `O(log N)` messages plus the window fan-out.
+
+use crate::client::{Client, Variant};
+use crate::cluster::Cluster;
+use crate::ids::{NodeRef, Oid};
+use crate::msg::{Endpoint, Message, Payload};
+use sdr_geom::{Point, Rect};
+
+/// Outcome of a kNN query.
+#[derive(Clone, Debug)]
+pub struct KnnOutcome {
+    /// Up to `k` `(oid, distance)` pairs, nearest first. Distances are
+    /// measured to the objects' mbbs (0 when the point is inside).
+    pub neighbors: Vec<(Oid, f64)>,
+    /// Server-addressed messages the whole query cost.
+    pub messages: u64,
+    /// Number of verification window queries run (1 in the common case).
+    pub rounds: u32,
+}
+
+impl Client {
+    /// Runs a distributed k-nearest-neighbour query around `p`.
+    ///
+    /// ```
+    /// use sdr_core::{Client, ClientId, Cluster, Object, Oid, SdrConfig, Variant};
+    /// use sdr_geom::{Point, Rect};
+    ///
+    /// let mut cluster = Cluster::new(SdrConfig::with_capacity(20));
+    /// let mut client = Client::new(ClientId(0), Variant::ImClient, 1);
+    /// for i in 0..100u64 {
+    ///     let x = (i % 10) as f64 / 10.0;
+    ///     let y = (i / 10) as f64 / 10.0;
+    ///     client.insert(&mut cluster, Object::new(Oid(i), Rect::new(x, y, x + 0.01, y + 0.01)));
+    /// }
+    /// let knn = client.knn(&mut cluster, Point::new(0.505, 0.505), 1);
+    /// assert_eq!(knn.neighbors[0].0, Oid(55)); // the grid cell at (0.5, 0.5)
+    /// ```
+    pub fn knn(&mut self, cluster: &mut Cluster, p: Point, k: usize) -> KnnOutcome {
+        let snap = cluster.stats.snapshot();
+        if k == 0 {
+            return KnnOutcome {
+                neighbors: vec![],
+                messages: 0,
+                rounds: 0,
+            };
+        }
+
+        // Phase 1: local estimate from the most promising data node.
+        let region = Rect::from_point(p);
+        let target = match self.variant {
+            Variant::Basic => None,
+            _ => self.image.choose_data(&region).map(|l| l.node),
+        }
+        .unwrap_or(NodeRef::data(self.contact));
+        let qid = self.next_query_id();
+        cluster.post(Message {
+            from: Endpoint::Client(self.id),
+            to: Endpoint::Server(target.server),
+            payload: Payload::KnnLocal {
+                p,
+                k,
+                qid,
+                results_to: self.id,
+            },
+        });
+        let inbox = cluster.drain();
+        let mut radius = 0.0f64;
+        let mut have_estimate = false;
+        for m in inbox {
+            if let Payload::KnnLocalReply { items, dr, .. } = m.payload {
+                if items.len() >= k {
+                    radius = items[k - 1].1;
+                    have_estimate = true;
+                } else if let Some(dr) = dr {
+                    // Fewer than k local objects: start from the node's
+                    // own extent.
+                    radius = dr.width().max(dr.height());
+                }
+            }
+        }
+        if !have_estimate && radius == 0.0 {
+            radius = 0.01;
+        }
+        // A zero radius (k duplicates exactly at p) still needs a
+        // positive verification window.
+        radius = radius.max(1e-9);
+
+        // Phase 2: verification by expanding window queries.
+        let mut rounds = 0u32;
+        let max_radius = 4.0; // beyond any unit-square diagonal
+        loop {
+            rounds += 1;
+            let window = Rect::new(p.x - radius, p.y - radius, p.x + radius, p.y + radius);
+            let outcome = self.window_query(cluster, window);
+            let mut candidates: Vec<(Oid, f64)> = outcome
+                .results
+                .iter()
+                .map(|o| (o.oid, o.mbb.min_dist(&p)))
+                .collect();
+            candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            // Results are complete within `radius` (the window contains
+            // the ball). Keep those provably within the ball.
+            let within: Vec<(Oid, f64)> = candidates
+                .iter()
+                .copied()
+                .filter(|(_, d)| *d <= radius)
+                .collect();
+            if within.len() >= k || radius >= max_radius {
+                let neighbors = within.into_iter().take(k).collect();
+                return KnnOutcome {
+                    neighbors,
+                    messages: cluster.stats.since(&snap).total,
+                    rounds,
+                };
+            }
+            radius *= 2.0;
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Links: remote node descriptors (Definition 2 of the paper).
+
+use crate::ids::{NodeKind, NodeRef, ServerId};
+use sdr_geom::Rect;
+
+/// "A link is a quadruplet `(id, dr, height, type)`, where `id` is the id
+/// of the server that stores the referenced node, `dr` is the directory
+/// rectangle of the referenced node, `height` is the height of the
+/// subtree rooted at the referenced node and `type` is either *data* or
+/// *routing*." (Definition 2)
+///
+/// Links are how every component — routing nodes, client images, IAMs —
+/// describes remote parts of the tree. The `dr` and `height` are cached
+/// copies and can go stale in images; inside routing nodes they are
+/// maintained exactly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Link {
+    /// The referenced node (server id + data/routing type).
+    pub node: NodeRef,
+    /// Cached directory rectangle of the referenced node.
+    pub dr: Rect,
+    /// Cached height of the subtree rooted at the referenced node
+    /// (data nodes have height 0).
+    pub height: u32,
+}
+
+impl Link {
+    /// A link to a data node.
+    #[inline]
+    pub fn to_data(server: ServerId, dr: Rect) -> Self {
+        Link {
+            node: NodeRef::data(server),
+            dr,
+            height: 0,
+        }
+    }
+
+    /// A link to a routing node.
+    #[inline]
+    pub fn to_routing(server: ServerId, dr: Rect, height: u32) -> Self {
+        Link {
+            node: NodeRef::routing(server),
+            dr,
+            height,
+        }
+    }
+
+    /// Whether the link references a data node.
+    #[inline]
+    pub fn is_data(&self) -> bool {
+        self.node.kind == NodeKind::Data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind_and_height() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let d = Link::to_data(ServerId(1), r);
+        assert!(d.is_data());
+        assert_eq!(d.height, 0);
+        let g = Link::to_routing(ServerId(2), r, 3);
+        assert!(!g.is_data());
+        assert_eq!(g.height, 3);
+    }
+}

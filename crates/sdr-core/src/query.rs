@@ -1,0 +1,655 @@
+//! Server-side query processing (§4): point and window queries with
+//! image-targeted addressing, out-of-range repair, OC-driven forwarding,
+//! both termination protocols, plus deletion routing (§3.3) and local
+//! kNN (the §7 extension).
+//!
+//! The traversal state machine:
+//!
+//! * **Check** (from an image or an OC entry): the node verifies it
+//!   covers the branch's *region*. A covering data node searches locally
+//!   and forwards along its OC; a covering routing node resolves by
+//!   descending plus OC-forwarding; a non-covering node starts the
+//!   bottom-up **Ascend** ("out of range", §4.1 case (ii)).
+//! * **Ascend**: climb to the parent until a routing node covering the
+//!   region (or the root) is found, then resolve as above.
+//! * **Descend**: the classical PQTRAVERSAL / WQTRAVERSAL: recurse into
+//!   every child intersecting the query.
+//!
+//! OC forwarding carries a narrowed region (query ∩ overlap rectangle)
+//! and a visited-node set. The set breaks the forwarding cycles that
+//! mutual overlap would otherwise create (node A's OC points at B and
+//! vice versa); see DESIGN.md §2.3 for why this is a necessary completion
+//! of the paper's description.
+
+use crate::ids::{ClientId, NodeKind, QueryId, ServerId};
+use crate::msg::{Endpoint, ImageHolder, Payload, QueryMode, QueryMsg, ReplyProtocol};
+use crate::node::Object;
+use crate::server::{Outbox, Server};
+use sdr_geom::Point;
+use std::collections::HashMap;
+
+/// Per-server state for the reverse-path termination protocol: one entry
+/// per inbound traversal hop that spawned children, keyed by this hop's
+/// branch token.
+#[derive(Clone, Debug, Default)]
+pub struct PendingAggregates {
+    entries: HashMap<u64, Pending>,
+    next_branch: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Pending {
+    qid: QueryId,
+    remaining: u32,
+    results: Vec<Object>,
+    trace: crate::msg::Trace,
+    /// Where to send the completed aggregate: back along the traversal
+    /// tree, or to the client at the query origin.
+    reply_via: Option<ServerId>,
+    parent_branch: u64,
+    results_to: ClientId,
+}
+
+impl PendingAggregates {
+    /// Allocates a fresh branch token for an outgoing hop.
+    fn alloc_branch(&mut self, server: ServerId) -> u64 {
+        self.next_branch += 1;
+        ((server.0 as u64) << 32) | self.next_branch
+    }
+}
+
+impl Server {
+    /// Handles one query traversal hop.
+    pub(crate) fn on_query(&mut self, mut q: QueryMsg, out: &mut Outbox) {
+        self.append_iam(&mut q.trace);
+        let hop = self.process_query_hop(&mut q, out);
+        self.reply_for_hop(q, hop, out);
+    }
+
+    /// Runs the traversal logic; returns the hop's local results and
+    /// fan-out.
+    fn process_query_hop(&mut self, q: &mut QueryMsg, out: &mut Outbox) -> HopOutcome {
+        match q.target.kind {
+            NodeKind::Data => {
+                let Some(d) = self.data.as_ref() else {
+                    // Eliminated data node addressed by a stale image:
+                    // follow the tombstone left at dissolution (skipping
+                    // already-visited nodes to stay loop-free).
+                    let forward = self
+                        .tombstone(NodeKind::Data)
+                        .filter(|t| !q.visited.contains(t));
+                    let spawned = match forward {
+                        Some(t) => self.forward_query(q, t, QueryMode::Check, q.region, out),
+                        None => 0,
+                    };
+                    return HopOutcome {
+                        results: vec![],
+                        spawned,
+                        direct: some_direct(q, false),
+                        iam_due: false,
+                    };
+                };
+                let covered = d.dr.map(|dr| dr.contains(&q.region)).unwrap_or(false);
+                let is_root_leaf = d.parent.is_none();
+                match q.mode {
+                    QueryMode::Descend => {
+                        // The parent established relevance: pure local
+                        // search.
+                        HopOutcome {
+                            results: local_search(d, q),
+                            spawned: 0,
+                            direct: None,
+                            iam_due: q.iam_carrier,
+                        }
+                    }
+                    QueryMode::Check | QueryMode::Ascend if covered || is_root_leaf => {
+                        let results = local_search(d, q);
+                        let spawned = self.forward_along_oc(q, out);
+                        HopOutcome {
+                            results,
+                            spawned,
+                            direct: some_direct(q, true),
+                            iam_due: q.repaired || q.iam_carrier,
+                        }
+                    }
+                    QueryMode::Check | QueryMode::Ascend => {
+                        // Out of range: climb (§4.1 case (ii)).
+                        let parent = d.parent.expect("non-root data node has a parent");
+                        let target = crate::ids::NodeRef::routing(parent);
+                        let spawned =
+                            self.forward_query(q, target, QueryMode::Ascend, q.region, out);
+                        HopOutcome {
+                            results: vec![],
+                            spawned,
+                            direct: some_direct(q, false),
+                            iam_due: false,
+                        }
+                    }
+                }
+            }
+            NodeKind::Routing => {
+                let Some(r) = self.routing.as_ref() else {
+                    // Dissolved routing node: follow the tombstone.
+                    let forward = self
+                        .tombstone(NodeKind::Routing)
+                        .filter(|t| !q.visited.contains(t));
+                    let spawned = match forward {
+                        Some(t) => self.forward_query(q, t, q.mode, q.region, out),
+                        None => 0,
+                    };
+                    return HopOutcome {
+                        results: vec![],
+                        spawned,
+                        direct: some_direct(q, false),
+                        iam_due: false,
+                    };
+                };
+                match q.mode {
+                    QueryMode::Descend => {
+                        let before = out.msgs.len();
+                        let spawned = self.descend_children(q, out);
+                        let delegated = q.iam_carrier && delegate_iam_carrier(out, before);
+                        HopOutcome {
+                            results: vec![],
+                            spawned,
+                            direct: None,
+                            iam_due: q.iam_carrier && !delegated,
+                        }
+                    }
+                    QueryMode::Check | QueryMode::Ascend => {
+                        if r.dr.contains(&q.region) || r.is_root() {
+                            let before = out.msgs.len();
+                            let mut spawned = self.descend_children(q, out);
+                            spawned += self.forward_along_oc(q, out);
+                            // A repaired branch delegates its IAM duty
+                            // down one descend path, so the image holder
+                            // learns the whole corrected path.
+                            let owes_iam = q.repaired || q.iam_carrier;
+                            let delegated = owes_iam && delegate_iam_carrier(out, before);
+                            HopOutcome {
+                                results: vec![],
+                                spawned,
+                                direct: some_direct(q, q.target.kind == NodeKind::Data),
+                                iam_due: owes_iam && !delegated,
+                            }
+                        } else {
+                            let parent = r.parent.expect("non-root routing node has a parent");
+                            let target = crate::ids::NodeRef::routing(parent);
+                            let spawned =
+                                self.forward_query(q, target, QueryMode::Ascend, q.region, out);
+                            HopOutcome {
+                                results: vec![],
+                                spawned,
+                                direct: some_direct(q, false),
+                                iam_due: false,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Descends into every child whose rectangle the query can match.
+    fn descend_children(&mut self, q: &QueryMsg, out: &mut Outbox) -> u32 {
+        let r = self.routing.as_ref().expect("descend at routing node");
+        let children = [r.left, r.right];
+        let mut spawned = 0;
+        for child in children {
+            if q.query.intersects(&child.dr) {
+                spawned += self.forward_query(q, child.node, QueryMode::Descend, q.region, out);
+            }
+        }
+        spawned
+    }
+
+    /// Forwards along the current node's OC entries that the query can
+    /// match, skipping already-visited nodes.
+    fn forward_along_oc(&mut self, q: &QueryMsg, out: &mut Outbox) -> u32 {
+        let entries: Vec<crate::oc::OcEntry> = match q.target.kind {
+            NodeKind::Data => self
+                .data
+                .as_ref()
+                .map(|d| d.oc.entries().to_vec())
+                .unwrap_or_default(),
+            NodeKind::Routing => self
+                .routing
+                .as_ref()
+                .map(|r| r.oc.entries().to_vec())
+                .unwrap_or_default(),
+        };
+        let qrect = q.query.rect();
+        let mut spawned = 0;
+        for e in entries {
+            if !q.query.intersects(&e.rect) || q.visited.contains(&e.outer.node) {
+                continue;
+            }
+            let region = e.rect.intersection(&qrect).expect("checked intersecting");
+            spawned += self.forward_query(q, e.outer.node, QueryMode::Check, region, out);
+        }
+        spawned
+    }
+
+    /// Emits one onward traversal message (possibly self-addressed — the
+    /// cluster does not bill those, matching the paper's co-location
+    /// rule, but they still produce their own report so the termination
+    /// accounting stays uniform).
+    fn forward_query(
+        &mut self,
+        q: &QueryMsg,
+        target: crate::ids::NodeRef,
+        mode: QueryMode,
+        region: sdr_geom::Rect,
+        out: &mut Outbox,
+    ) -> u32 {
+        let mut visited = q.visited.clone();
+        if !visited.contains(&q.target) {
+            visited.push(q.target);
+        }
+        let (reply_via, parent_branch) = match q.protocol {
+            ReplyProtocol::Direct | ReplyProtocol::Probabilistic => (None, 0),
+            ReplyProtocol::ReversePath => (Some(self.id), q.parent_branch),
+        };
+        out.send_server(
+            target.server,
+            Payload::Query(QueryMsg {
+                target,
+                query: q.query,
+                region,
+                mode,
+                qid: q.qid,
+                initial: false,
+                // An Ascend hop marks the branch as repaired; the
+                // resolving hop emits the IAM and descendants start
+                // clean.
+                repaired: mode == QueryMode::Ascend,
+                iam_carrier: false,
+                visited,
+                results_to: q.results_to,
+                iam_to: q.iam_to,
+                protocol: q.protocol,
+                reply_via,
+                parent_branch,
+                trace: q.trace.clone(),
+            }),
+        );
+        1
+    }
+
+    /// Emits the reply for a processed hop, per the active termination
+    /// protocol (§4.3).
+    fn reply_for_hop(&mut self, q: QueryMsg, hop: HopOutcome, out: &mut Outbox) {
+        match q.protocol {
+            ReplyProtocol::Probabilistic => {
+                // §4.3: only servers with relevant data respond; the
+                // client works with whatever arrives (the simulator's
+                // drain plays the role of the timeout).
+                if !hop.results.is_empty() {
+                    out.send(
+                        Endpoint::Client(q.results_to),
+                        Payload::QueryReport {
+                            qid: q.qid,
+                            results: hop.results,
+                            spawned: 0,
+                            trace: q.trace,
+                            direct: hop.direct,
+                        },
+                    );
+                }
+            }
+            ReplyProtocol::Direct => {
+                // "Each server getting the query responds to the client,
+                // whether it found the relevant data or not", carrying
+                // the path description (trace) and its fan-out.
+                out.send(
+                    Endpoint::Client(q.results_to),
+                    Payload::QueryReport {
+                        qid: q.qid,
+                        results: hop.results,
+                        spawned: hop.spawned,
+                        trace: q.trace.clone(),
+                        direct: hop.direct,
+                    },
+                );
+                // An addressing error was repaired: the terminal hop of
+                // the repaired branch's carrier path sends the IAM with
+                // the accumulated trace to the image holder (contact
+                // server in IMSERVER; the client already receives traces
+                // with its reports).
+                if hop.iam_due {
+                    if let ImageHolder::Server(s) = q.iam_to {
+                        out.send_server(
+                            s,
+                            Payload::QueryReport {
+                                qid: q.qid,
+                                results: vec![],
+                                spawned: 0,
+                                trace: q.trace,
+                                direct: None,
+                            },
+                        );
+                    }
+                }
+            }
+            ReplyProtocol::ReversePath => {
+                if hop.spawned == 0 {
+                    // Leaf of the traversal tree: answer immediately.
+                    send_aggregate(
+                        q.reply_via,
+                        q.parent_branch,
+                        q.qid,
+                        hop.results,
+                        q.trace,
+                        q.results_to,
+                        out,
+                    );
+                } else {
+                    // Wait for the children; the forwarded messages carry
+                    // our own branch token... which forward_query set to
+                    // q.parent_branch. Re-key them under a fresh token is
+                    // unnecessary because each hop has at most one
+                    // pending entry per inbound message; we use the
+                    // inbound (reply_via, parent_branch) as identity and
+                    // allocate a unique local key.
+                    let key = self.pending.alloc_branch(self.id);
+                    // Rewrite the just-emitted children so their
+                    // aggregates come back to our fresh key.
+                    for m in out.msgs.iter_mut().rev().take(hop.spawned as usize) {
+                        if let Payload::Query(cq) = &mut m.payload {
+                            if cq.qid == q.qid {
+                                cq.parent_branch = key;
+                            }
+                        }
+                    }
+                    self.pending.entries.insert(
+                        key,
+                        Pending {
+                            qid: q.qid,
+                            remaining: hop.spawned,
+                            results: hop.results,
+                            trace: q.trace,
+                            reply_via: q.reply_via,
+                            parent_branch: q.parent_branch,
+                            results_to: q.results_to,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Reverse-path protocol: a child branch completed.
+    pub(crate) fn on_query_aggregate(
+        &mut self,
+        parent_branch: u64,
+        qid: QueryId,
+        results: Vec<Object>,
+        trace: crate::msg::Trace,
+        out: &mut Outbox,
+    ) {
+        let Some(entry) = self.pending.entries.get_mut(&parent_branch) else {
+            return;
+        };
+        debug_assert_eq!(entry.qid, qid);
+        entry.results.extend(results);
+        entry.trace.extend(trace);
+        entry.remaining -= 1;
+        if entry.remaining == 0 {
+            let entry = self
+                .pending
+                .entries
+                .remove(&parent_branch)
+                .expect("present");
+            send_aggregate(
+                entry.reply_via,
+                entry.parent_branch,
+                entry.qid,
+                entry.results,
+                entry.trace,
+                entry.results_to,
+                out,
+            );
+        }
+    }
+
+    // -------------------------------------------------------- deletion --
+
+    /// Deletion routing (§3.3): traverses like a window query on the
+    /// object's mbb; the data node holding the object removes it,
+    /// tightens its rectangle, and may eliminate itself.
+    pub(crate) fn on_delete(&mut self, payload: Payload, out: &mut Outbox) {
+        let Payload::Delete {
+            obj,
+            qid,
+            mode,
+            region,
+            visited,
+            target,
+            results_to,
+            iam_to,
+            mut trace,
+        } = payload
+        else {
+            unreachable!("on_delete only receives Delete payloads");
+        };
+        self.append_iam(&mut trace);
+        // Reuse the query traversal by embedding the delete in a
+        // window-query shell, then act on the local hits.
+        let mut shell = QueryMsg {
+            target,
+            query: crate::msg::QueryKind::Window(obj.mbb),
+            region,
+            mode,
+            qid,
+            initial: false,
+            repaired: false,
+            iam_carrier: false,
+            visited,
+            results_to,
+            iam_to,
+            protocol: ReplyProtocol::Direct,
+            reply_via: None,
+            parent_branch: 0,
+            trace: trace.clone(),
+        };
+        // Process the hop but translate emissions into Delete messages.
+        let before = out.msgs.len();
+        let hop = self.process_query_hop(&mut shell, out);
+        let mut spawned = 0u32;
+        for m in out.msgs.iter_mut().skip(before) {
+            if let Payload::Query(cq) = &m.payload {
+                let cq = cq.clone();
+                m.payload = Payload::Delete {
+                    obj,
+                    qid,
+                    mode: cq.mode,
+                    region: cq.region,
+                    visited: cq.visited,
+                    target: cq.target,
+                    results_to,
+                    iam_to,
+                    trace: cq.trace,
+                };
+                spawned += 1;
+            }
+        }
+        // Local removal if this hop searched a data node.
+        let mut removed = false;
+        if target.kind == NodeKind::Data
+            && hop
+                .results
+                .iter()
+                .any(|o| o.oid == obj.oid && o.mbb == obj.mbb)
+        {
+            removed = self.remove_local(&obj, out);
+        }
+        out.send(
+            Endpoint::Client(results_to),
+            Payload::DeleteReport {
+                qid,
+                removed,
+                spawned,
+                trace,
+            },
+        );
+    }
+
+    /// Removes an object from the local repository and performs the
+    /// §3.3 aftermath: rectangle tightening or node elimination.
+    fn remove_local(&mut self, obj: &Object, out: &mut Outbox) -> bool {
+        let self_id = self.id;
+        let Some(d) = self.data.as_mut() else {
+            return false;
+        };
+        if !d.tree.remove(&obj.mbb, &obj.oid) {
+            return false;
+        }
+        let min = self.config.min_objects();
+        let underflow = d.tree.len() < min || d.tree.is_empty();
+        if let Some(parent) = d.parent.filter(|_| underflow) {
+            // Eliminate: ship the remaining objects to the parent, which
+            // dissolves itself and re-injects them through the sibling.
+            let objects: Vec<Object> = d
+                .tree
+                .drain_all()
+                .into_iter()
+                .map(|e| Object::new(e.item, e.rect))
+                .collect();
+            self.data = None;
+            self.data_tombstone = Some(crate::ids::NodeRef::routing(parent));
+            out.send_server(
+                parent,
+                Payload::Eliminate {
+                    child: crate::ids::NodeRef::data(self_id),
+                    objects,
+                },
+            );
+            return true;
+        }
+        // Tighten the directory rectangle to the remaining contents.
+        match d.tree.bbox() {
+            Some(bbox) => {
+                if d.dr != Some(bbox) {
+                    d.dr = Some(bbox);
+                    d.oc.intersect_all(&bbox);
+                    if let Some(p) = d.parent {
+                        let link = d.link(self_id);
+                        out.send_server(p, Payload::ShrinkChild { child: link });
+                    }
+                }
+            }
+            None => {
+                // Empty root leaf: reset.
+                d.dr = None;
+                d.oc = crate::oc::OcTable::new();
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------------- kNN --
+
+    /// Local k-nearest-neighbours, the first phase of the distributed
+    /// kNN algorithm (see `knn` module).
+    pub(crate) fn on_knn_local(
+        &mut self,
+        p: Point,
+        k: usize,
+        qid: QueryId,
+        results_to: ClientId,
+        out: &mut Outbox,
+    ) {
+        let (items, dr) = match self.data.as_ref() {
+            Some(d) => {
+                let items = d
+                    .tree
+                    .nearest(p, k)
+                    .into_iter()
+                    .map(|(e, dist)| (Object::new(e.item, e.rect), dist))
+                    .collect();
+                (items, d.dr)
+            }
+            None => (vec![], None),
+        };
+        out.send(
+            Endpoint::Client(results_to),
+            Payload::KnnLocalReply { qid, items, dr },
+        );
+    }
+}
+
+struct HopOutcome {
+    results: Vec<Object>,
+    spawned: u32,
+    direct: Option<bool>,
+    /// Whether this hop must send the IAM to a server-held image (the
+    /// IMSERVER contact): set at the terminal of a repaired branch so
+    /// the contact receives the complete out-of-range path.
+    iam_due: bool,
+}
+
+/// Marks the first Descend query emitted after `from` as the IAM
+/// carrier. Returns whether a carrier was found.
+fn delegate_iam_carrier(out: &mut Outbox, from: usize) -> bool {
+    for m in out.msgs.iter_mut().skip(from) {
+        if let Payload::Query(cq) = &mut m.payload {
+            if cq.mode == QueryMode::Descend {
+                cq.iam_carrier = true;
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn some_direct(q: &QueryMsg, hit: bool) -> Option<bool> {
+    q.initial.then_some(hit)
+}
+
+fn local_search(d: &crate::node::DataNode, q: &QueryMsg) -> Vec<Object> {
+    match q.query {
+        crate::msg::QueryKind::Point(p) => d
+            .tree
+            .search_point(&p)
+            .into_iter()
+            .map(|e| Object::new(e.item, e.rect))
+            .collect(),
+        crate::msg::QueryKind::Window(w) => d
+            .tree
+            .search_window(&w)
+            .into_iter()
+            .map(|e| Object::new(e.item, e.rect))
+            .collect(),
+    }
+}
+
+fn send_aggregate(
+    reply_via: Option<ServerId>,
+    parent_branch: u64,
+    qid: QueryId,
+    results: Vec<Object>,
+    trace: crate::msg::Trace,
+    results_to: ClientId,
+    out: &mut Outbox,
+) {
+    match reply_via {
+        Some(server) => out.send_server(
+            server,
+            Payload::QueryAggregate {
+                qid,
+                parent_branch,
+                results,
+                trace,
+            },
+        ),
+        None => out.send(
+            Endpoint::Client(results_to),
+            Payload::QueryAggregate {
+                qid,
+                parent_branch,
+                results,
+                trace,
+            },
+        ),
+    }
+}

@@ -1,0 +1,904 @@
+//! The server component: one participant of the distributed tree,
+//! hosting a data node and (except the very first server) a routing node.
+//!
+//! A server is a message-driven state machine: [`Server::handle`] consumes
+//! one incoming [`Payload`] and emits follow-up messages through an
+//! [`Outbox`]. The same state machine runs inside the in-process
+//! simulator (`cluster`) and behind TCP endpoints (`sdr-net`).
+
+use crate::config::SdrConfig;
+use crate::ids::{NodeKind, NodeRef, ServerId};
+use crate::image::Image;
+use crate::link::Link;
+use crate::msg::{Endpoint, ImageHolder, Message, Payload, Trace};
+use crate::node::{DataNode, Object, RoutingNode};
+use sdr_geom::Rect;
+use sdr_rtree::{Entry, RTree, RTreeConfig};
+
+/// Collects the messages a server emits while handling one input, and
+/// provisions fresh servers for splits.
+///
+/// Server allocation is the one piece of global coordination an SDDS
+/// needs; in the simulator the cluster pre-registers the allocated ids,
+/// in a real deployment a node-manager service plays this role.
+#[derive(Debug)]
+pub struct Outbox {
+    /// Messages to deliver, in emission order.
+    pub msgs: Vec<Message>,
+    /// Messages to deliver only after the regular traffic quiesces.
+    ///
+    /// Node elimination re-injects orphaned objects as fresh inserts;
+    /// letting those race the elimination's own structural repair
+    /// (height adjustment, rotation gathering) invalidates rotation
+    /// snapshots mid-flight — a reinsert-driven split can orphan the new
+    /// server. Deferring them until the repair chain has fully drained
+    /// removes the race without any locking.
+    pub deferred: Vec<Message>,
+    /// Server ids allocated during this handling step.
+    pub allocated: Vec<ServerId>,
+    /// Where fresh server ids come from.
+    allocator: Allocator,
+    /// The server currently handling a message.
+    self_id: ServerId,
+}
+
+/// Source of fresh server ids.
+///
+/// The simulator allocates sequentially (ids are dense indexes into its
+/// server vector); a real deployment draws from a process-wide atomic so
+/// concurrent splits on different servers never collide.
+#[derive(Debug)]
+pub enum Allocator {
+    /// Dense sequential allocation starting at the given id.
+    Sequential(u32),
+    /// Shared atomic counter (the TCP deployment's node manager).
+    Shared(std::sync::Arc<std::sync::atomic::AtomicU32>),
+}
+
+impl Outbox {
+    /// Creates an outbox for `self_id`, allocating new servers
+    /// sequentially from `next_server` upward.
+    pub fn new(self_id: ServerId, next_server: u32) -> Self {
+        Outbox {
+            msgs: Vec::new(),
+            deferred: Vec::new(),
+            allocated: Vec::new(),
+            allocator: Allocator::Sequential(next_server),
+            self_id,
+        }
+    }
+
+    /// Creates an outbox with an explicit allocator.
+    pub fn with_allocator(self_id: ServerId, allocator: Allocator) -> Self {
+        Outbox {
+            msgs: Vec::new(),
+            deferred: Vec::new(),
+            allocated: Vec::new(),
+            allocator,
+            self_id,
+        }
+    }
+
+    /// The handling server's id.
+    pub fn self_id(&self) -> ServerId {
+        self.self_id
+    }
+
+    /// Emits a message to an arbitrary endpoint.
+    pub fn send(&mut self, to: Endpoint, payload: Payload) {
+        self.msgs.push(Message {
+            from: Endpoint::Server(self.self_id),
+            to,
+            payload,
+        });
+    }
+
+    /// Emits a message to another server.
+    pub fn send_server(&mut self, to: ServerId, payload: Payload) {
+        self.send(Endpoint::Server(to), payload);
+    }
+
+    /// Emits a server message into the deferred lane (see `deferred`).
+    pub fn send_server_deferred(&mut self, to: ServerId, payload: Payload) {
+        self.deferred.push(Message {
+            from: Endpoint::Server(self.self_id),
+            to: Endpoint::Server(to),
+            payload,
+        });
+    }
+
+    /// Emits a message to the holder of an image (client or contact
+    /// server); suppressed for the BASIC variant.
+    pub fn send_image_holder(&mut self, to: ImageHolder, payload: Payload) {
+        match to {
+            ImageHolder::Client(c) => self.send(Endpoint::Client(c), payload),
+            ImageHolder::Server(s) => self.send(Endpoint::Server(s), payload),
+            ImageHolder::Nobody => {}
+        }
+    }
+
+    /// Provisions a fresh, empty server and returns its id.
+    pub fn alloc_server(&mut self) -> ServerId {
+        let id = match &mut self.allocator {
+            Allocator::Sequential(next) => {
+                let id = ServerId(*next);
+                *next += 1;
+                id
+            }
+            Allocator::Shared(counter) => {
+                ServerId(counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst))
+            }
+        };
+        self.allocated.push(id);
+        id
+    }
+}
+
+/// One SD-Rtree server.
+#[derive(Clone, Debug)]
+pub struct Server {
+    /// This server's id.
+    pub id: ServerId,
+    /// The routing node, absent on server 0 until... never: server 0
+    /// never hosts one (§2.1); also absent on freshly allocated servers
+    /// until their `SplitCreate` arrives, and after node elimination.
+    pub routing: Option<RoutingNode>,
+    /// The data node; absent only after node elimination.
+    pub data: Option<DataNode>,
+    /// The server's own image of the structure, used when it acts as a
+    /// contact server in the IMSERVER variant.
+    pub image: Image,
+    /// Structure configuration (shared by every server).
+    pub config: SdrConfig,
+    /// Reverse-path termination protocol state (§4.3).
+    pub(crate) pending: crate::query::PendingAggregates,
+    /// Forwarding address left behind when the data node dissolved
+    /// (node elimination, §3.3): the parent that absorbed its objects.
+    /// Stale images keep addressing the dissolved node for a while; the
+    /// tombstone routes those requests back into the live structure.
+    pub(crate) data_tombstone: Option<NodeRef>,
+    /// Forwarding address left when the routing node dissolved: the
+    /// sibling subtree that took its tree position.
+    pub(crate) routing_tombstone: Option<NodeRef>,
+    /// Messages that arrived before this server's `SplitCreate`.
+    ///
+    /// The simulator's global FIFO queue delivers the `SplitCreate`
+    /// first by construction, but over TCP there is no ordering between
+    /// connections from different peers: a descend routed through the
+    /// freshly notified parent can outrun the initialization. Such
+    /// messages are parked and replayed right after initialization.
+    deferred: Vec<(Endpoint, Payload)>,
+}
+
+impl Server {
+    /// Creates the first server of a deployment: an empty data node, no
+    /// routing node (§2.1: server 0 stores only `d0`).
+    pub fn new(id: ServerId, config: SdrConfig) -> Self {
+        Server {
+            id,
+            routing: None,
+            data: Some(DataNode::new(config.rtree)),
+            image: Image::new(),
+            config,
+            pending: Default::default(),
+            data_tombstone: None,
+            routing_tombstone: None,
+            deferred: Vec::new(),
+        }
+    }
+
+    /// Creates a bare server awaiting its `SplitCreate` initialization.
+    pub fn bare(id: ServerId, config: SdrConfig) -> Self {
+        Server {
+            id,
+            routing: None,
+            data: None,
+            image: Image::new(),
+            config,
+            pending: Default::default(),
+            data_tombstone: None,
+            routing_tombstone: None,
+            deferred: Vec::new(),
+        }
+    }
+
+    /// Whether this server has not yet been initialized by its
+    /// `SplitCreate` (distinct from a *dissolved* server, which leaves
+    /// tombstones behind).
+    fn is_bare(&self) -> bool {
+        self.routing.is_none()
+            && self.data.is_none()
+            && self.data_tombstone.is_none()
+            && self.routing_tombstone.is_none()
+    }
+
+    /// The forwarding address for a dissolved node of the given kind.
+    pub(crate) fn tombstone(&self, kind: crate::ids::NodeKind) -> Option<NodeRef> {
+        match kind {
+            crate::ids::NodeKind::Data => self.data_tombstone,
+            crate::ids::NodeKind::Routing => self.routing_tombstone,
+        }
+    }
+
+    /// The links a visit to this server contributes to an IAM (§3.1):
+    /// its data link, its routing link, and the routing node's left and
+    /// right links.
+    pub fn iam_links(&self) -> Vec<Link> {
+        let mut links = Vec::with_capacity(4);
+        if let Some(d) = &self.data {
+            if d.dr.is_some() {
+                links.push(d.link(self.id));
+            }
+        }
+        if let Some(r) = &self.routing {
+            links.push(r.link(self.id));
+            links.push(r.left);
+            links.push(r.right);
+        }
+        links
+    }
+
+    /// Appends this server's links to an operation trace.
+    pub(crate) fn append_iam(&self, trace: &mut Trace) {
+        debug_assert!(
+            trace.len() < 400,
+            "operation path exploded ({} links) at {}: forwarding loop?",
+            trace.len(),
+            self.id
+        );
+        trace.extend(self.iam_links());
+    }
+
+    /// Main dispatch: handles one message, emitting follow-ups into
+    /// `out`.
+    pub fn handle(&mut self, from: Endpoint, payload: Payload, out: &mut Outbox) {
+        if self.is_bare() && !matches!(payload, Payload::SplitCreate { .. }) {
+            self.deferred.push((from, payload));
+            return;
+        }
+        match payload {
+            Payload::InsertAtLeaf {
+                obj,
+                trace,
+                iam_to,
+                initial,
+            } => self.on_insert_at_leaf(obj, trace, iam_to, initial, out),
+            Payload::InsertAscend {
+                obj,
+                trace,
+                iam_to,
+                initial,
+            } => self.on_insert_ascend(obj, trace, iam_to, initial, out),
+            Payload::InsertDescend {
+                obj,
+                oc_acc,
+                new_dr,
+                trace,
+                iam_to,
+            } => self.on_insert_descend(obj, Some(oc_acc), new_dr, trace, iam_to, out),
+            Payload::StoreAtLeaf {
+                obj,
+                new_dr,
+                oc,
+                trace,
+                iam_to,
+            } => self.on_store_at_leaf(obj, new_dr, oc, trace, iam_to, out),
+            Payload::SplitCreate {
+                routing,
+                objects,
+                data_dr,
+                data_oc,
+            } => {
+                self.on_split_create(routing, objects, data_dr, data_oc);
+                // Replay anything that outran the initialization.
+                for (from, payload) in std::mem::take(&mut self.deferred) {
+                    self.handle(from, payload, out);
+                }
+            }
+            Payload::ChildSplit {
+                old_child,
+                new_child,
+                children,
+            } => self.on_child_change(old_child, new_child, Some(children), None, out),
+            Payload::AdjustHeight {
+                child,
+                children,
+                tall_grandchildren,
+            } => self.on_child_change(child.node, child, Some(children), tall_grandchildren, out),
+            Payload::ChildRemoved {
+                old_child,
+                new_child,
+            } => self.on_child_change(old_child, new_child, None, None, out),
+            Payload::GatherRotation { origin } => self.on_gather_rotation(origin, out),
+            Payload::GatherRotationInner {
+                origin,
+                b_link,
+                b_children,
+            } => self.on_gather_rotation_inner(origin, b_link, b_children, out),
+            Payload::RotationInfo {
+                b_link,
+                b_children,
+                e_children,
+            } => self.on_rotation_info(b_link, b_children, e_children, out),
+            Payload::ClearParent { target } => self.on_clear_parent(target),
+            Payload::DropOcAncestor { target, ancestor } => {
+                self.on_drop_oc_ancestor(target, ancestor, out)
+            }
+            Payload::SetRouting { node } => self.on_set_routing(node, out),
+            Payload::SetParent { target, parent } => self.on_set_parent(target, parent, out),
+            Payload::RefreshChild { child } => {
+                self.on_child_change(child.node, child, None, None, out)
+            }
+            Payload::ReplaceChild {
+                old_child,
+                new_child,
+            } => self.on_replace_child(old_child, new_child, out),
+            Payload::UpdateOc {
+                target,
+                ancestor,
+                outer,
+                rect,
+            } => self.on_update_oc(target, ancestor, outer, rect, out),
+            Payload::RefreshOc { target, table } => self.on_refresh_oc(target, table, out),
+            Payload::ShrinkChild { child } => self.on_shrink_child(child, out),
+            Payload::Query(q) => self.on_query(q, out),
+            Payload::Delete { .. } => self.on_delete(payload, out),
+            Payload::Eliminate { child, objects } => self.on_eliminate(child, objects, out),
+            Payload::KnnLocal {
+                p,
+                k,
+                qid,
+                results_to,
+            } => self.on_knn_local(p, k, qid, results_to, out),
+            Payload::JoinStart {
+                target,
+                qid,
+                results_to,
+                trace,
+            } => self.on_join_start(target, qid, results_to, trace, out),
+            Payload::JoinProbe {
+                target,
+                objects,
+                region,
+                mode,
+                visited,
+                qid,
+                results_to,
+                trace,
+            } => self.on_join_probe(
+                target, objects, region, mode, visited, qid, results_to, trace, out,
+            ),
+            Payload::JoinReport { trace, .. } => self.image.absorb(&trace),
+            Payload::Routed { op, results_to } => self.on_routed(op, results_to, from, out),
+            Payload::QueryAggregate {
+                qid,
+                parent_branch,
+                results,
+                trace,
+            } => self.on_query_aggregate(parent_branch, qid, results, trace, out),
+            // Replies addressed to servers belong to the IMSERVER image
+            // maintenance (IAMs) — absorb the links.
+            Payload::InsertAck { trace, .. } => self.image.absorb(&trace),
+            Payload::QueryReport { trace, .. } => self.image.absorb(&trace),
+            Payload::DeleteReport { trace, .. } => self.image.absorb(&trace),
+            Payload::KnnLocalReply { .. } => {}
+        }
+    }
+
+    // ---------------------------------------------------------- insert --
+
+    /// INSERT-IN-LEAF (§3.2): store if covered, else start the
+    /// out-of-range ascent.
+    fn on_insert_at_leaf(
+        &mut self,
+        obj: Object,
+        mut trace: Trace,
+        iam_to: ImageHolder,
+        initial: bool,
+        out: &mut Outbox,
+    ) {
+        self.append_iam(&mut trace);
+        let Some(d) = self.data.as_mut() else {
+            // Eliminated data node (a stale image addressed it): follow
+            // the tombstone left at dissolution. Tombstone chains are
+            // acyclic (they always point at a node that was live when
+            // the tombstone was written, and server ids are never
+            // reused), so this terminates.
+            if let Some(t) = self.tombstone(NodeKind::Data) {
+                let payload = match t.kind {
+                    NodeKind::Data => Payload::InsertAtLeaf {
+                        obj,
+                        trace,
+                        iam_to,
+                        initial: false,
+                    },
+                    NodeKind::Routing => Payload::InsertAscend {
+                        obj,
+                        trace,
+                        iam_to,
+                        initial: false,
+                    },
+                };
+                out.send_server(t.server, payload);
+            } else if self.routing.is_some() {
+                self.on_insert_ascend(obj, trace, iam_to, false, out);
+            }
+            return;
+        };
+        let is_root_leaf = d.parent.is_none() && self.routing.is_none();
+        if is_root_leaf || d.covers(&obj.mbb) {
+            d.store(obj);
+            if !initial {
+                // Multi-hop insertions acknowledge with the IAM (§3.2:
+                // "If the insertion could not be performed in one hop").
+                out.send_image_holder(
+                    iam_to,
+                    Payload::InsertAck {
+                        oid: obj.oid,
+                        trace,
+                        direct: false,
+                    },
+                );
+            }
+            self.maybe_split(out);
+        } else {
+            let parent = d
+                .parent
+                .expect("covered check failed only on non-root leaves");
+            out.send_server(
+                parent,
+                Payload::InsertAscend {
+                    obj,
+                    trace,
+                    iam_to,
+                    initial: false,
+                },
+            );
+        }
+    }
+
+    /// INSERT-IN-SUBTREE (§3.2), bottom-up: climb until the subtree
+    /// covers the object, then switch to the classical top-down insert.
+    fn on_insert_ascend(
+        &mut self,
+        obj: Object,
+        mut trace: Trace,
+        iam_to: ImageHolder,
+        _initial: bool,
+        out: &mut Outbox,
+    ) {
+        self.append_iam(&mut trace);
+        let Some(r) = self.routing.as_mut() else {
+            // A stale image addressed a routing node that does not exist
+            // (yet or anymore): follow the tombstone, falling back to the
+            // data-node path.
+            if let Some(t) = self.tombstone(NodeKind::Routing) {
+                let payload = match t.kind {
+                    NodeKind::Data => Payload::InsertAtLeaf {
+                        obj,
+                        trace,
+                        iam_to,
+                        initial: false,
+                    },
+                    NodeKind::Routing => Payload::InsertAscend {
+                        obj,
+                        trace,
+                        iam_to,
+                        initial: false,
+                    },
+                };
+                out.send_server(t.server, payload);
+            } else {
+                self.on_insert_at_leaf(obj, trace, iam_to, false, out);
+            }
+            return;
+        };
+        if r.dr.contains(&obj.mbb) || r.is_root() {
+            if r.is_root() {
+                // Only the root may enlarge without asking anyone (§2.3).
+                r.dr.enlarge(&obj.mbb);
+            }
+            self.descend_insert(obj, trace, iam_to, out);
+        } else {
+            let parent = r.parent.expect("non-root routing node has a parent");
+            out.send_server(
+                parent,
+                Payload::InsertAscend {
+                    obj,
+                    trace,
+                    iam_to,
+                    initial: false,
+                },
+            );
+        }
+    }
+
+    /// Top-down hop: the parent already computed our enlarged rectangle
+    /// and fresh OC table.
+    fn on_insert_descend(
+        &mut self,
+        obj: Object,
+        oc_acc: Option<crate::oc::OcTable>,
+        new_dr: Option<Rect>,
+        mut trace: Trace,
+        iam_to: ImageHolder,
+        out: &mut Outbox,
+    ) {
+        self.append_iam(&mut trace);
+        let r = self
+            .routing
+            .as_mut()
+            .expect("InsertDescend addresses a routing node");
+        if let Some(ndr) = new_dr {
+            // Union rather than overwrite: under TCP concurrency our dr
+            // may have grown since the parent computed `ndr` (identical
+            // in the synchronous regime).
+            r.dr.enlarge(&ndr);
+        }
+        if let Some(oc) = oc_acc {
+            r.oc = oc;
+        }
+        self.descend_insert(obj, trace, iam_to, out);
+    }
+
+    /// One step of the classical R-tree top-down insertion (§3.2): choose
+    /// a subtree, enlarge it, maintain the overlapping coverage (§2.3),
+    /// and forward.
+    fn descend_insert(&mut self, obj: Object, trace: Trace, iam_to: ImageHolder, out: &mut Outbox) {
+        let self_id = self.id;
+        let r = self
+            .routing
+            .as_mut()
+            .expect("descend happens at routing nodes");
+        let side = r.choose_subtree(&obj.mbb);
+        let sibling = *r.child(side.other());
+        let chosen = *r.child(side);
+        let new_child_dr = chosen.dr.union(&obj.mbb);
+        let enlarged = new_child_dr != chosen.dr;
+
+        // The child's fresh OC table, derivable because we know our own
+        // OC and the sibling (Figure 3.c).
+        let mut updated_chosen = chosen;
+        updated_chosen.dr = new_child_dr;
+        let child_oc = r.oc.derive_child(self_id, &new_child_dr, &sibling);
+
+        if enlarged {
+            r.child_mut(side).dr = new_child_dr;
+            // If the overlap with the sibling changed, diffuse UPDATEOC
+            // into the sibling subtree (§2.3 step 2).
+            let old_int = chosen.dr.intersection(&sibling.dr);
+            let new_int = new_child_dr.intersection(&sibling.dr);
+            if new_int != old_int {
+                out.send_server(
+                    sibling.node.server,
+                    Payload::UpdateOc {
+                        target: sibling.node,
+                        ancestor: self_id,
+                        outer: updated_chosen,
+                        rect: new_child_dr,
+                    },
+                );
+            }
+        }
+
+        match chosen.node.kind {
+            NodeKind::Data => {
+                if chosen.node.server == self_id {
+                    // Our own data node: no message needed (§3.2 "r4 and
+                    // d4 reside on the same server").
+                    self.on_store_at_leaf(obj, new_child_dr, child_oc, trace, iam_to, out);
+                } else {
+                    out.send_server(
+                        chosen.node.server,
+                        Payload::StoreAtLeaf {
+                            obj,
+                            new_dr: new_child_dr,
+                            oc: child_oc,
+                            trace,
+                            iam_to,
+                        },
+                    );
+                }
+            }
+            NodeKind::Routing => {
+                out.send_server(
+                    chosen.node.server,
+                    Payload::InsertDescend {
+                        obj,
+                        oc_acc: child_oc,
+                        new_dr: enlarged.then_some(new_child_dr),
+                        trace,
+                        iam_to,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Final hop of a routed insertion.
+    fn on_store_at_leaf(
+        &mut self,
+        obj: Object,
+        new_dr: Rect,
+        oc: crate::oc::OcTable,
+        mut trace: Trace,
+        iam_to: ImageHolder,
+        out: &mut Outbox,
+    ) {
+        self.append_iam(&mut trace);
+        let self_id = self.id;
+        let d = self
+            .data
+            .as_mut()
+            .expect("StoreAtLeaf addresses a data node");
+        // In the synchronous regime `new_dr` equals our dr united with
+        // the object. Under real concurrency (TCP deployment) we may
+        // have split while the message was in flight, making `new_dr`
+        // stale; merge from our actual contents and, if the results
+        // disagree, re-sync the parent (a no-op in the simulator, so the
+        // paper's message counts are unaffected).
+        let merged = match d.dr {
+            Some(cur) => cur.union(&obj.mbb),
+            None => new_dr,
+        };
+        d.dr = Some(merged);
+        d.oc = oc;
+        d.store(obj);
+        if merged != new_dr {
+            if let Some(p) = d.parent {
+                let link = d.link(self_id);
+                out.send_server(p, Payload::RefreshChild { child: link });
+            }
+        }
+        out.send_image_holder(
+            iam_to,
+            Payload::InsertAck {
+                oid: obj.oid,
+                trace,
+                direct: false,
+            },
+        );
+        self.maybe_split(out);
+    }
+
+    // ----------------------------------------------------------- split --
+
+    /// Splits this server's data node if it exceeded capacity (§2.2).
+    pub(crate) fn maybe_split(&mut self, out: &mut Outbox) {
+        let needs_split = self
+            .data
+            .as_ref()
+            .is_some_and(|d| d.tree.len() > self.config.capacity);
+        if !needs_split {
+            return;
+        }
+        let d = self.data.as_mut().expect("checked above");
+        let new_id = out.alloc_server();
+
+        // Divide the objects in two approximately equal subsets with the
+        // classical R-tree split algorithm.
+        let entries = d.tree.drain_all();
+        let partition_config = RTreeConfig {
+            max_entries: entries.len().max(2),
+            min_entries: ((entries.len() * 2) / 5).max(1),
+            split: self.config.split,
+            reinsert: false,
+        };
+        let (keep, give) = sdr_rtree::partition(entries, &partition_config);
+        let keep_dr = Rect::mbb(keep.iter().map(|e| &e.rect)).expect("non-empty half");
+        let give_dr = Rect::mbb(give.iter().map(|e| &e.rect)).expect("non-empty half");
+
+        let old_parent = d.parent;
+        let old_oc = std::mem::take(&mut d.oc);
+
+        // This server keeps `keep`; its data node's parent becomes the
+        // new routing node.
+        d.tree = RTree::bulk_load(self.config.rtree, keep);
+        d.dr = Some(keep_dr);
+        d.parent = Some(new_id);
+
+        let left = Link::to_data(self.id, keep_dr);
+        let right = Link::to_data(new_id, give_dr);
+        let routing_dr = keep_dr.union(&give_dr);
+        let routing = RoutingNode {
+            height: 1,
+            dr: routing_dr,
+            left,
+            right,
+            parent: old_parent,
+            oc: old_oc,
+        };
+
+        // Derive the two data nodes' OC tables from the routing node's.
+        d.oc = routing.oc.derive_child(new_id, &keep_dr, &right);
+        let give_oc = routing.oc.derive_child(new_id, &give_dr, &left);
+        let routing_link = routing.link(new_id);
+        let give_objects: Vec<Object> = give
+            .into_iter()
+            .map(|Entry { rect, item }| Object::new(item, rect))
+            .collect();
+
+        out.send_server(
+            new_id,
+            Payload::SplitCreate {
+                routing,
+                objects: give_objects,
+                data_dr: give_dr,
+                data_oc: give_oc,
+            },
+        );
+
+        if let Some(parent) = old_parent {
+            out.send_server(
+                parent,
+                Payload::ChildSplit {
+                    old_child: NodeRef::data(self.id),
+                    new_child: routing_link,
+                    children: (left, right),
+                },
+            );
+        }
+    }
+
+    /// Initializes a freshly allocated server after a split.
+    fn on_split_create(
+        &mut self,
+        routing: RoutingNode,
+        objects: Vec<Object>,
+        data_dr: Rect,
+        data_oc: crate::oc::OcTable,
+    ) {
+        debug_assert!(
+            self.routing.is_none(),
+            "SplitCreate on an initialized server"
+        );
+        self.routing = Some(routing);
+        let entries: Vec<Entry<crate::ids::Oid>> = objects
+            .into_iter()
+            .map(|o| Entry::new(o.mbb, o.oid))
+            .collect();
+        self.data = Some(DataNode {
+            tree: RTree::bulk_load(self.config.rtree, entries),
+            dr: Some(data_dr),
+            parent: Some(self.id),
+            oc: data_oc,
+        });
+    }
+
+    // ------------------------------------------------- IMSERVER routing --
+
+    /// Acts as a contact server: routes a client operation using the
+    /// local image (IMSERVER variant, §5).
+    fn on_routed(
+        &mut self,
+        op: crate::msg::ClientOp,
+        results_to: crate::ids::ClientId,
+        _from: Endpoint,
+        out: &mut Outbox,
+    ) {
+        crate::variant::route_from_server(self, op, results_to, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Oid;
+
+    fn obj(id: u64, x: f64, y: f64) -> Object {
+        Object::new(Oid(id), Rect::new(x, y, x + 0.5, y + 0.5))
+    }
+
+    #[test]
+    fn first_server_accepts_everything() {
+        let mut s = Server::new(ServerId(0), SdrConfig::with_capacity(100));
+        let mut out = Outbox::new(ServerId(0), 1);
+        for i in 0..50 {
+            s.handle(
+                Endpoint::Client(crate::ids::ClientId(0)),
+                Payload::InsertAtLeaf {
+                    obj: obj(i, i as f64, 0.0),
+                    trace: vec![],
+                    iam_to: ImageHolder::Nobody,
+                    initial: true,
+                },
+                &mut out,
+            );
+        }
+        assert_eq!(s.data.as_ref().unwrap().len(), 50);
+        assert!(out.msgs.is_empty(), "covered inserts need no messages");
+    }
+
+    #[test]
+    fn overflow_triggers_split_messages() {
+        let mut s = Server::new(ServerId(0), SdrConfig::with_capacity(10));
+        let mut out = Outbox::new(ServerId(0), 1);
+        for i in 0..11 {
+            s.handle(
+                Endpoint::Client(crate::ids::ClientId(0)),
+                Payload::InsertAtLeaf {
+                    obj: obj(i, (i % 4) as f64, (i / 4) as f64),
+                    trace: vec![],
+                    iam_to: ImageHolder::Nobody,
+                    initial: true,
+                },
+                &mut out,
+            );
+        }
+        // Exactly one allocation and one SplitCreate; no ChildSplit since
+        // server 0 was the root.
+        assert_eq!(out.allocated, vec![ServerId(1)]);
+        let split_msgs: Vec<_> = out
+            .msgs
+            .iter()
+            .filter(|m| matches!(m.payload, Payload::SplitCreate { .. }))
+            .collect();
+        assert_eq!(split_msgs.len(), 1);
+        assert!(!out
+            .msgs
+            .iter()
+            .any(|m| matches!(m.payload, Payload::ChildSplit { .. })));
+        // The local half respects the configured capacity.
+        let kept = s.data.as_ref().unwrap().len();
+        assert!((4..=7).contains(&kept), "kept {kept}");
+        assert_eq!(s.data.as_ref().unwrap().parent, Some(ServerId(1)));
+    }
+
+    #[test]
+    fn split_create_initializes_server() {
+        let mut s0 = Server::new(ServerId(0), SdrConfig::with_capacity(10));
+        let mut out = Outbox::new(ServerId(0), 1);
+        for i in 0..11 {
+            s0.handle(
+                Endpoint::Client(crate::ids::ClientId(0)),
+                Payload::InsertAtLeaf {
+                    obj: obj(i, (i % 4) as f64, (i / 4) as f64),
+                    trace: vec![],
+                    iam_to: ImageHolder::Nobody,
+                    initial: true,
+                },
+                &mut out,
+            );
+        }
+        let mut s1 = Server::new(ServerId(1), SdrConfig::with_capacity(10));
+        s1.data = None; // freshly allocated servers start bare
+        let msg = out
+            .msgs
+            .iter()
+            .find(|m| matches!(m.payload, Payload::SplitCreate { .. }))
+            .unwrap();
+        let mut out1 = Outbox::new(ServerId(1), 2);
+        s1.handle(msg.from, msg.payload.clone(), &mut out1);
+        let r = s1.routing.as_ref().unwrap();
+        assert_eq!(r.height, 1);
+        assert!(r.is_root());
+        assert_eq!(r.left.node, NodeRef::data(ServerId(0)));
+        assert_eq!(r.right.node, NodeRef::data(ServerId(1)));
+        let d = s1.data.as_ref().unwrap();
+        assert_eq!(d.parent, Some(ServerId(1)));
+        assert_eq!(d.len() + s0.data.as_ref().unwrap().len(), 11);
+        // Both halves' OCs know about each other through ancestor S1.
+        assert!(out1.msgs.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_insert_ascends() {
+        let mut s = Server::new(ServerId(0), SdrConfig::with_capacity(10));
+        s.data.as_mut().unwrap().dr = Some(Rect::new(0.0, 0.0, 1.0, 1.0));
+        s.data.as_mut().unwrap().parent = Some(ServerId(3));
+        let mut out = Outbox::new(ServerId(0), 5);
+        s.handle(
+            Endpoint::Client(crate::ids::ClientId(0)),
+            Payload::InsertAtLeaf {
+                obj: obj(9, 5.0, 5.0),
+                trace: vec![],
+                iam_to: ImageHolder::Client(crate::ids::ClientId(0)),
+                initial: true,
+            },
+            &mut out,
+        );
+        assert_eq!(out.msgs.len(), 1);
+        assert_eq!(out.msgs[0].to, Endpoint::Server(ServerId(3)));
+        assert!(matches!(out.msgs[0].payload, Payload::InsertAscend { .. }));
+    }
+}

@@ -1,0 +1,125 @@
+//! Tests of cluster bulk loading: the one-shot builder must produce
+//! exactly the invariants and answers of an incrementally grown tree.
+
+use sdr_core::{Client, ClientId, Cluster, Object, Oid, SdrConfig, Variant};
+use sdr_geom::{Point, Rect};
+use sdr_workload::{DatasetSpec, Distribution, PointSpec, WindowSpec};
+
+fn objects(n: usize, seed: u64) -> Vec<Object> {
+    DatasetSpec::new(n, Distribution::Uniform)
+        .generate(seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| Object::new(Oid(i as u64), r))
+        .collect()
+}
+
+#[test]
+fn bulk_load_satisfies_all_invariants() {
+    let mut cluster = Cluster::bulk_load(SdrConfig::with_capacity(50), objects(3_000, 3));
+    assert_eq!(cluster.total_objects(), 3_000);
+    assert!(cluster.num_servers() >= 3_000 / 50);
+    cluster.check_invariants();
+    // Perfect balance: the bulk tree hits the information-theoretic
+    // minimum height.
+    let n = cluster.num_servers() as f64;
+    assert_eq!(cluster.height() as f64, n.log2().ceil());
+}
+
+#[test]
+fn bulk_load_answers_queries_exactly() {
+    let objs = objects(2_000, 7);
+    let mut cluster = Cluster::bulk_load(SdrConfig::with_capacity(60), objs.clone());
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 5);
+    for w in WindowSpec::paper_default().generate(120, 9) {
+        let mut got: Vec<u64> = client
+            .window_query(&mut cluster, w)
+            .results
+            .iter()
+            .map(|o| o.oid.0)
+            .collect();
+        let mut want: Vec<u64> = objs
+            .iter()
+            .filter(|o| o.mbb.intersects(&w))
+            .map(|o| o.oid.0)
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want, "window {w:?}");
+    }
+    for p in PointSpec::uniform().generate(120, 11) {
+        let got = client.point_query(&mut cluster, p).results.len();
+        let want = objs.iter().filter(|o| o.mbb.contains_point(&p)).count();
+        assert_eq!(got, want, "point {p:?}");
+    }
+}
+
+#[test]
+fn bulk_loaded_cluster_keeps_growing() {
+    // The builder's output must be a first-class structure: further
+    // inserts, splits, deletes and joins all work on top of it.
+    let objs = objects(1_500, 13);
+    let mut cluster = Cluster::bulk_load(SdrConfig::with_capacity(40), objs.clone());
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 5);
+    let before = cluster.num_servers();
+    let extra = DatasetSpec::new(1_500, Distribution::Uniform).generate(17);
+    for (i, r) in extra.iter().enumerate() {
+        client.insert(&mut cluster, Object::new(Oid(10_000 + i as u64), *r));
+    }
+    assert!(
+        cluster.num_servers() > before,
+        "growth should split servers"
+    );
+    cluster.check_invariants();
+    assert_eq!(cluster.total_objects(), 3_000);
+
+    let (removed, _) = client.delete(&mut cluster, objs[42]);
+    assert!(removed);
+    cluster.check_invariants();
+
+    let w = Rect::new(0.3, 0.3, 0.5, 0.5);
+    let got = client.window_query(&mut cluster, w).results.len();
+    let want = objs
+        .iter()
+        .filter(|o| o.oid.0 != 42 && o.mbb.intersects(&w))
+        .count()
+        + extra.iter().filter(|r| r.intersects(&w)).count();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn bulk_load_edge_sizes() {
+    // Empty.
+    let mut c0 = Cluster::bulk_load(SdrConfig::with_capacity(10), vec![]);
+    assert_eq!(c0.total_objects(), 0);
+    c0.check_invariants();
+    // Single object.
+    let mut c1 = Cluster::bulk_load(
+        SdrConfig::with_capacity(10),
+        vec![Object::new(Oid(1), Rect::new(0.1, 0.1, 0.2, 0.2))],
+    );
+    assert_eq!(c1.num_servers(), 1);
+    c1.check_invariants();
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 1);
+    assert_eq!(
+        client
+            .point_query(&mut c1, Point::new(0.15, 0.15))
+            .results
+            .len(),
+        1
+    );
+    // Exactly one split worth.
+    let mut c2 = Cluster::bulk_load(SdrConfig::with_capacity(10), objects(15, 19));
+    assert!(c2.num_servers() >= 2);
+    c2.check_invariants();
+}
+
+#[test]
+fn bulk_load_is_message_free() {
+    let cluster = Cluster::bulk_load(SdrConfig::with_capacity(50), objects(2_000, 23));
+    assert_eq!(
+        cluster.stats.total(),
+        0,
+        "bulk loading is a local construction"
+    );
+}

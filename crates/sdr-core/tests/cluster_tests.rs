@@ -1,0 +1,577 @@
+//! End-to-end tests of the distributed structure: build trees through
+//! the message protocol, then verify structural invariants and query
+//! completeness against brute-force oracles.
+
+use sdr_core::{Client, ClientId, Cluster, Object, Oid, ReplyProtocol, SdrConfig, Variant};
+use sdr_geom::{Point, Rect};
+use sdr_rtree::SplitPolicy;
+use sdr_workload::{DatasetSpec, Distribution, PointSpec, WindowSpec};
+
+/// Builds a cluster by inserting `data` through `client`.
+fn build(cluster: &mut Cluster, client: &mut Client, data: &[Rect]) {
+    for (i, r) in data.iter().enumerate() {
+        client.insert(cluster, Object::new(Oid(i as u64), *r));
+    }
+}
+
+fn uniform(n: usize, seed: u64) -> Vec<Rect> {
+    DatasetSpec::new(n, Distribution::Uniform).generate(seed)
+}
+
+fn skewed(n: usize, seed: u64) -> Vec<Rect> {
+    DatasetSpec::new(n, Distribution::default_skewed()).generate(seed)
+}
+
+#[test]
+fn tree_grows_and_stays_balanced_uniform() {
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(40));
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 1);
+    build(&mut cluster, &mut client, &uniform(2_000, 7));
+    assert!(
+        cluster.num_servers() >= 2_000 / 40,
+        "too few servers: {}",
+        cluster.num_servers()
+    );
+    assert_eq!(cluster.total_objects(), 2_000);
+    // Height must be logarithmic: N leaves need at least ceil(log2 N).
+    let n = cluster.num_servers() as f64;
+    let h = cluster.height() as f64;
+    assert!(
+        h >= n.log2().floor(),
+        "height {h} too small for {n} servers"
+    );
+    assert!(
+        h <= 2.0 * n.log2().ceil() + 1.0,
+        "height {h} too large for {n} servers"
+    );
+    cluster.check_invariants();
+}
+
+#[test]
+fn tree_grows_and_stays_balanced_skewed() {
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(40));
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 1);
+    build(&mut cluster, &mut client, &skewed(2_000, 11));
+    assert_eq!(cluster.total_objects(), 2_000);
+    cluster.check_invariants();
+}
+
+#[test]
+fn every_split_policy_builds_valid_trees() {
+    for policy in [
+        SplitPolicy::Linear,
+        SplitPolicy::Quadratic,
+        SplitPolicy::RStar,
+    ] {
+        let mut cluster = Cluster::new(SdrConfig::with_capacity(30).with_split(policy));
+        let mut client = Client::new(ClientId(0), Variant::ImClient, 3);
+        build(&mut cluster, &mut client, &uniform(800, 5));
+        cluster.check_invariants();
+        assert_eq!(cluster.total_objects(), 800, "{policy:?}");
+    }
+}
+
+#[test]
+fn point_queries_complete_for_every_variant() {
+    let data = uniform(1_500, 21);
+    for variant in [Variant::Basic, Variant::ImClient, Variant::ImServer] {
+        let mut cluster = Cluster::new(SdrConfig::with_capacity(50));
+        let mut builder = Client::new(ClientId(0), Variant::ImClient, 2);
+        build(&mut cluster, &mut builder, &data);
+
+        let mut client = Client::new(ClientId(1), variant, 9);
+        let points = PointSpec::uniform().generate(200, 33);
+        for p in &points {
+            let got = client.point_query(&mut cluster, *p);
+            let mut got_ids: Vec<u64> = got.results.iter().map(|o| o.oid.0).collect();
+            let mut want: Vec<u64> = data
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains_point(p))
+                .map(|(i, _)| i as u64)
+                .collect();
+            got_ids.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got_ids, want, "{variant:?} point query at {p:?}");
+        }
+        cluster.check_invariants();
+    }
+}
+
+#[test]
+fn window_queries_complete_for_every_variant() {
+    let data = uniform(1_500, 22);
+    for variant in [Variant::Basic, Variant::ImClient, Variant::ImServer] {
+        let mut cluster = Cluster::new(SdrConfig::with_capacity(50));
+        let mut builder = Client::new(ClientId(0), Variant::ImClient, 2);
+        build(&mut cluster, &mut builder, &data);
+
+        let mut client = Client::new(ClientId(1), variant, 10);
+        let windows = WindowSpec::paper_default().generate(100, 44);
+        for w in &windows {
+            let got = client.window_query(&mut cluster, *w);
+            let mut got_ids: Vec<u64> = got.results.iter().map(|o| o.oid.0).collect();
+            let mut want: Vec<u64> = data
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.intersects(w))
+                .map(|(i, _)| i as u64)
+                .collect();
+            got_ids.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got_ids, want, "{variant:?} window query {w:?}");
+        }
+    }
+}
+
+#[test]
+fn queries_complete_on_skewed_data() {
+    let data = skewed(1_500, 23);
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(50));
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 2);
+    build(&mut cluster, &mut client, &data);
+    let windows = WindowSpec::paper_default().generate(100, 45);
+    for w in &windows {
+        let got = client.window_query(&mut cluster, *w);
+        let want = data.iter().filter(|r| r.intersects(w)).count();
+        assert_eq!(got.results.len(), want);
+    }
+}
+
+#[test]
+fn stale_image_still_answers_correctly() {
+    // Freeze a client's image early, then keep growing the tree with
+    // another client: the stale image must still produce complete
+    // answers through the out-of-range repair.
+    let data = uniform(2_000, 31);
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(40));
+    let mut stale = Client::new(ClientId(0), Variant::ImClient, 2);
+    build(&mut cluster, &mut stale, &data[..200]);
+    // Now a different client grows the tree 10x; `stale` learns nothing.
+    let mut grower = Client::new(ClientId(1), Variant::ImClient, 3);
+    for (i, r) in data[200..].iter().enumerate() {
+        grower.insert(&mut cluster, Object::new(Oid(200 + i as u64), *r));
+    }
+    let points = PointSpec::uniform().generate(150, 55);
+    for p in &points {
+        // Use a throwaway copy of the stale image each time so it stays
+        // stale (absorbing IAMs would heal it).
+        let got = stale.point_query(&mut cluster, *p);
+        let want = data.iter().filter(|r| r.contains_point(p)).count();
+        assert_eq!(
+            got.results.len(),
+            want,
+            "stale image missed results at {p:?}"
+        );
+    }
+}
+
+#[test]
+fn reverse_path_protocol_agrees_with_direct() {
+    let data = uniform(1_000, 41);
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(60));
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 2);
+    build(&mut cluster, &mut client, &data);
+
+    let mut direct = Client::new(ClientId(1), Variant::ImClient, 5);
+    let mut reverse = Client::new(ClientId(2), Variant::ImClient, 5);
+    reverse.protocol = ReplyProtocol::ReversePath;
+
+    for w in WindowSpec::paper_default().generate(60, 66) {
+        let a = direct.window_query(&mut cluster, w);
+        let b = reverse.window_query(&mut cluster, w);
+        let mut ia: Vec<u64> = a.results.iter().map(|o| o.oid.0).collect();
+        let mut ib: Vec<u64> = b.results.iter().map(|o| o.oid.0).collect();
+        ia.sort_unstable();
+        ib.sort_unstable();
+        assert_eq!(ia, ib, "protocols disagree on {w:?}");
+    }
+}
+
+#[test]
+fn probabilistic_protocol_agrees_in_lossless_network() {
+    // §4.3: with the probabilistic protocol only data-bearing servers
+    // respond; in the lossless simulator the result must still be
+    // complete, with strictly fewer client-bound messages.
+    let data = uniform(1_000, 43);
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(60));
+    let mut builder = Client::new(ClientId(0), Variant::ImClient, 2);
+    build(&mut cluster, &mut builder, &data);
+
+    let mut prob = Client::new(ClientId(1), Variant::ImClient, 5);
+    prob.protocol = ReplyProtocol::Probabilistic;
+    let before_replies = cluster.stats.to_clients();
+    for w in WindowSpec::paper_default().generate(50, 67) {
+        let got = prob.window_query(&mut cluster, w);
+        let want = data.iter().filter(|r| r.intersects(&w)).count();
+        assert_eq!(got.results.len(), want, "window {w:?}");
+    }
+    let prob_replies = cluster.stats.to_clients() - before_replies;
+
+    let mut direct = Client::new(ClientId(2), Variant::ImClient, 5);
+    let before_replies = cluster.stats.to_clients();
+    for w in WindowSpec::paper_default().generate(50, 67) {
+        direct.window_query(&mut cluster, w);
+    }
+    let direct_replies = cluster.stats.to_clients() - before_replies;
+    assert!(
+        prob_replies < direct_replies,
+        "probabilistic should reply less: {prob_replies} vs {direct_replies}"
+    );
+}
+
+#[test]
+fn imclient_converges_to_single_message_inserts() {
+    let data = uniform(3_000, 51);
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(100));
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 2);
+    build(&mut cluster, &mut client, &data[..2_500]);
+    // After warm-up, nearly all inserts should be direct, costing 1
+    // message (§5.1: "a direct match in 99.9 % of the cases").
+    let mut direct = 0;
+    let tail = &data[2_500..];
+    for (i, r) in tail.iter().enumerate() {
+        let out = client.insert(&mut cluster, Object::new(Oid(2_500 + i as u64), *r));
+        // A direct insert costs exactly 1 message unless it triggered a
+        // split (whose maintenance messages are billed to the insert).
+        if out.direct && out.messages == 1 {
+            direct += 1;
+        }
+    }
+    assert!(
+        direct as f64 >= 0.9 * tail.len() as f64,
+        "only {direct}/{} direct inserts",
+        tail.len()
+    );
+}
+
+#[test]
+fn basic_variant_loads_the_root() {
+    let data = uniform(1_200, 61);
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(50));
+    let mut client = Client::new(ClientId(0), Variant::Basic, 2);
+    build(&mut cluster, &mut client, &data);
+    cluster.check_invariants();
+    // The root server must have received more messages than a random
+    // leaf-only server — the imbalance the images exist to fix.
+    let root = cluster.root_node().server;
+    let root_msgs = cluster.stats.server(root);
+    let avg: f64 =
+        cluster.stats.per_server().iter().sum::<u64>() as f64 / cluster.num_servers() as f64;
+    assert!(
+        root_msgs as f64 > avg,
+        "root got {root_msgs}, average is {avg}"
+    );
+}
+
+#[test]
+fn deletion_removes_and_tightens() {
+    let data = uniform(800, 71);
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(50));
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 2);
+    build(&mut cluster, &mut client, &data);
+
+    // Delete a third of the objects.
+    for (i, r) in data.iter().enumerate().filter(|(i, _)| i % 3 == 0) {
+        let (removed, _) = client.delete(&mut cluster, Object::new(Oid(i as u64), *r));
+        assert!(removed, "failed to delete object {i}");
+    }
+    assert_eq!(
+        cluster.total_objects(),
+        800 - data.iter().enumerate().filter(|(i, _)| i % 3 == 0).count()
+    );
+    cluster.check_invariants();
+
+    // Deleted objects are gone; survivors are still found.
+    for (i, r) in data.iter().enumerate().take(60) {
+        let p = Point::new((r.xmin + r.xmax) / 2.0, (r.ymin + r.ymax) / 2.0);
+        let got = client.point_query(&mut cluster, p);
+        let has = got.results.iter().any(|o| o.oid.0 == i as u64);
+        assert_eq!(has, i % 3 != 0, "object {i} presence wrong after deletes");
+    }
+}
+
+#[test]
+fn deleting_everything_collapses_the_tree() {
+    let data = uniform(400, 81);
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(30));
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 2);
+    build(&mut cluster, &mut client, &data);
+    assert!(cluster.num_servers() > 4);
+    for (i, r) in data.iter().enumerate() {
+        let (removed, _) = client.delete(&mut cluster, Object::new(Oid(i as u64), *r));
+        assert!(removed, "failed to delete object {i}");
+    }
+    assert_eq!(cluster.total_objects(), 0);
+    cluster.check_invariants();
+    // The structure remains usable after total collapse.
+    client.insert(
+        &mut cluster,
+        Object::new(Oid(9_999), Rect::new(0.1, 0.1, 0.2, 0.2)),
+    );
+    let got = client.point_query(&mut cluster, Point::new(0.15, 0.15));
+    assert_eq!(got.results.len(), 1);
+}
+
+#[test]
+fn knn_matches_brute_force() {
+    let data = uniform(1_200, 91);
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(60));
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 2);
+    build(&mut cluster, &mut client, &data);
+
+    let points = PointSpec::uniform().generate(40, 77);
+    for p in &points {
+        for k in [1usize, 5, 12] {
+            let got = client.knn(&mut cluster, *p, k);
+            assert_eq!(got.neighbors.len(), k);
+            let mut want: Vec<f64> = data.iter().map(|r| r.min_dist(p)).collect();
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for (idx, (_, d)) in got.neighbors.iter().enumerate() {
+                assert!(
+                    (d - want[idx]).abs() < 1e-9,
+                    "kNN distance {idx} mismatch at {p:?} (k={k}): got {d}, want {}",
+                    want[idx]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn imserver_variant_converges() {
+    let data = uniform(2_000, 101);
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(100));
+    let mut client = Client::new(ClientId(0), Variant::ImServer, 13);
+    build(&mut cluster, &mut client, &data);
+    assert_eq!(cluster.total_objects(), 2_000);
+    cluster.check_invariants();
+    // Servers must have learned images from IAMs.
+    let informed = cluster
+        .servers()
+        .iter()
+        .filter(|s| !s.image.is_empty())
+        .count();
+    assert!(
+        informed > cluster.num_servers() / 2,
+        "only {informed} servers have images"
+    );
+}
+
+#[test]
+fn oid_gen_and_first_contact() {
+    // A fresh client with an empty image inserts through its contact
+    // server (§3.2: "The first insertion query issued by C is sent to
+    // the contact server").
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(10));
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 2);
+    let mut gen = sdr_core::OidGen::new();
+    let out = client.insert(
+        &mut cluster,
+        Object::new(gen.next_oid(), Rect::new(0.4, 0.4, 0.5, 0.5)),
+    );
+    assert!(out.direct);
+    assert_eq!(out.messages, 1);
+    assert_eq!(cluster.total_objects(), 1);
+}
+
+#[test]
+fn monotone_inserts_force_rotations_and_stay_balanced() {
+    // A diagonal strip inserted in sorted order grows one flank of the
+    // tree repeatedly — the classical AVL worst case. Rotations must
+    // fire and the tree must stay balanced throughout.
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(8));
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 3);
+    for i in 0..600u64 {
+        let t = i as f64 / 600.0;
+        let r = Rect::new(t, t, t + 0.0005, t + 0.0005);
+        client.insert(&mut cluster, Object::new(Oid(i), r));
+    }
+    cluster.check_invariants();
+    use sdr_core::MsgCategory;
+    assert!(
+        cluster.stats.category(MsgCategory::Rotation) > 0,
+        "monotone insertion should trigger rotations"
+    );
+    // Completeness after heavy rebalancing.
+    let out = client.window_query(&mut cluster, Rect::new(0.25, 0.25, 0.75, 0.75));
+    let want = (0..600u64)
+        .filter(|i| {
+            let t = *i as f64 / 600.0;
+            Rect::new(t, t, t + 0.0005, t + 0.0005).intersects(&Rect::new(0.25, 0.25, 0.75, 0.75))
+        })
+        .count();
+    assert_eq!(out.results.len(), want);
+}
+
+#[test]
+fn concentrated_deletions_force_gather_rotations() {
+    // Build a balanced tree, then hollow out one half of the space:
+    // heights drop on that flank, triggering the deletion-side
+    // (gathered) rotation path.
+    let data = uniform(1_200, 33);
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(20));
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 4);
+    build(&mut cluster, &mut client, &data);
+    cluster.check_invariants();
+
+    for (i, r) in data.iter().enumerate() {
+        if r.xmax < 0.55 {
+            let (removed, _) = client.delete(&mut cluster, Object::new(Oid(i as u64), *r));
+            assert!(removed, "delete {i}");
+        }
+    }
+    cluster.check_invariants();
+    // The surviving half still answers exactly.
+    for w in sdr_workload::WindowSpec::paper_default().generate(80, 35) {
+        let got = client.window_query(&mut cluster, w).results.len();
+        let want = data
+            .iter()
+            .filter(|r| r.xmax >= 0.55 && r.intersects(&w))
+            .count();
+        assert_eq!(got, want, "window {w:?}");
+    }
+}
+
+#[test]
+fn spatial_join_smoke_from_cluster_tests() {
+    // Cross-check the join against per-object window queries.
+    let data = DatasetSpec::new(250, Distribution::Uniform)
+        .with_extents(0.02, 0.08)
+        .generate(41);
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(30));
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 5);
+    build(&mut cluster, &mut client, &data);
+    let join = client.spatial_join(&mut cluster);
+    let mut expected = 0usize;
+    for (i, r) in data.iter().enumerate() {
+        let hits = client.window_query(&mut cluster, *r);
+        expected += hits.results.iter().filter(|o| o.oid.0 > i as u64).count();
+    }
+    assert_eq!(join.pairs.len(), expected);
+}
+
+/// Reconstructs the construction walkthrough of Figures 1 and 2: one
+/// server, a first split creating `(r1, d1)` on server 1, then a split
+/// of server 1 creating `(r2, d2)` on server 2 — and checks every
+/// parent/child/height relation the figures draw.
+#[test]
+fn paper_figure_1_and_2_walkthrough() {
+    use sdr_core::{NodeKind, NodeRef, ServerId};
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(4));
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 2);
+    let mut next_oid = 0u64;
+    let mut put = |cluster: &mut Cluster, client: &mut Client, x: f64, y: f64| {
+        let oid = Oid(next_oid);
+        next_oid += 1;
+        client.insert(
+            cluster,
+            Object::new(oid, Rect::new(x, y, x + 0.01, y + 0.01)),
+        );
+    };
+
+    // Part A: everything on server 0.
+    for i in 0..4 {
+        put(&mut cluster, &mut client, 0.1 + 0.2 * i as f64, 0.1);
+    }
+    assert_eq!(cluster.num_servers(), 1);
+    assert_eq!(cluster.root_node(), NodeRef::data(ServerId(0)));
+
+    // Part B: the first split moves half the objects to server 1, whose
+    // routing node r1 becomes the root with data links to d0 and d1.
+    put(&mut cluster, &mut client, 0.9, 0.1);
+    assert_eq!(cluster.num_servers(), 2);
+    assert_eq!(cluster.root_node(), NodeRef::routing(ServerId(1)));
+    {
+        let r1 = cluster.server(ServerId(1)).routing.as_ref().unwrap();
+        assert_eq!(r1.height, 1);
+        assert!(r1.is_root());
+        assert_eq!(r1.left.node.kind, NodeKind::Data);
+        assert_eq!(r1.right.node.kind, NodeKind::Data);
+        assert_eq!(r1.dr, r1.left.dr.union(&r1.right.dr));
+        // Server 0 hosts no routing node (§2.1).
+        assert!(cluster.server(ServerId(0)).routing.is_none());
+        assert_eq!(
+            cluster.server(ServerId(0)).data.as_ref().unwrap().parent,
+            Some(ServerId(1))
+        );
+        assert_eq!(
+            cluster.server(ServerId(1)).data.as_ref().unwrap().parent,
+            Some(ServerId(1))
+        );
+    }
+
+    // Part C: overflow server 1's region so *it* splits next: r2 goes to
+    // server 2, becomes r1's right child, and r1's height adjusts to 2.
+    let right_region = cluster
+        .server(ServerId(1))
+        .data
+        .as_ref()
+        .unwrap()
+        .dr
+        .unwrap();
+    for i in 0..5 {
+        let x = right_region.xmin + (right_region.width() * 0.9) * (i as f64 / 5.0);
+        put(&mut cluster, &mut client, x, right_region.ymin);
+    }
+    assert_eq!(cluster.num_servers(), 3);
+    let r1 = cluster
+        .server(ServerId(1))
+        .routing
+        .as_ref()
+        .unwrap()
+        .clone();
+    assert_eq!(r1.height, 2, "r1's height must be adjusted to 2");
+    assert!(r1.is_root(), "the tree is still balanced, no rotation");
+    let r2 = cluster
+        .server(ServerId(2))
+        .routing
+        .as_ref()
+        .unwrap()
+        .clone();
+    assert_eq!(r2.parent, Some(ServerId(1)), "r2's parent is r1's server");
+    assert_eq!(r2.height, 1);
+    assert_eq!(r2.left.node.kind, NodeKind::Data);
+    assert_eq!(r2.right.node, NodeRef::data(ServerId(2)));
+    // One of r1's children is now the routing node r2.
+    assert!(
+        r1.left.node == NodeRef::routing(ServerId(2))
+            || r1.right.node == NodeRef::routing(ServerId(2))
+    );
+    // "Each directory rectangle of a node is therefore represented
+    // exactly twice: on the node, and on its parent."
+    let r2_link = if r1.left.node == NodeRef::routing(ServerId(2)) {
+        r1.left
+    } else {
+        r1.right
+    };
+    assert_eq!(r2_link.dr, r2.dr);
+    assert_eq!(r2_link.height, r2.height);
+    cluster.check_invariants();
+}
+
+/// Everything is deterministic given the seeds: two identical runs
+/// produce identical trees and identical message statistics (the
+/// reproducibility claim of EXPERIMENTS.md).
+#[test]
+fn runs_are_deterministic() {
+    let run = || {
+        let data = uniform(1_500, 77);
+        let mut cluster = Cluster::new(SdrConfig::with_capacity(50));
+        let mut client = Client::new(ClientId(0), Variant::ImServer, 9);
+        build(&mut cluster, &mut client, &data);
+        let q = PointSpec::uniform().generate(50, 5);
+        let mut hits = 0;
+        for p in &q {
+            hits += client.point_query(&mut cluster, *p).results.len();
+        }
+        (
+            cluster.num_servers(),
+            cluster.height(),
+            cluster.stats.total(),
+            cluster.stats.per_server_snapshot(),
+            hits,
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,150 @@
+//! Tests of the distributed spatial self-join and distance queries
+//! (the §7 future-work extensions) against brute-force oracles.
+
+use sdr_core::{Client, ClientId, Cluster, Object, Oid, SdrConfig, Variant};
+use sdr_geom::{Point, Rect};
+use sdr_workload::{DatasetSpec, Distribution};
+
+fn build(data: &[Rect], capacity: usize) -> (Cluster, Client) {
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(capacity));
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 2);
+    for (i, r) in data.iter().enumerate() {
+        client.insert(&mut cluster, Object::new(Oid(i as u64), *r));
+    }
+    (cluster, client)
+}
+
+fn brute_force_pairs(data: &[Rect]) -> Vec<(u64, u64)> {
+    let mut pairs = Vec::new();
+    for i in 0..data.len() {
+        for j in (i + 1)..data.len() {
+            if data[i].intersects(&data[j]) {
+                pairs.push((i as u64, j as u64));
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Rectangles big enough that plenty of pairs intersect, both within and
+/// across data nodes.
+fn chunky(n: usize, seed: u64) -> Vec<Rect> {
+    DatasetSpec::new(n, Distribution::Uniform)
+        .with_extents(0.01, 0.06)
+        .generate(seed)
+}
+
+#[test]
+fn join_matches_brute_force_uniform() {
+    let data = chunky(600, 5);
+    let (mut cluster, mut client) = build(&data, 50);
+    assert!(cluster.num_servers() > 8, "want a multi-server tree");
+    let out = client.spatial_join(&mut cluster);
+    let got: Vec<(u64, u64)> = out.pairs.iter().map(|(a, b)| (a.0, b.0)).collect();
+    let want = brute_force_pairs(&data);
+    assert!(!want.is_empty(), "test data should produce pairs");
+    assert_eq!(got, want);
+}
+
+#[test]
+fn join_matches_brute_force_skewed() {
+    let data = DatasetSpec::new(500, Distribution::default_skewed())
+        .with_extents(0.005, 0.03)
+        .generate(9);
+    let (mut cluster, mut client) = build(&data, 40);
+    let out = client.spatial_join(&mut cluster);
+    let got: Vec<(u64, u64)> = out.pairs.iter().map(|(a, b)| (a.0, b.0)).collect();
+    assert_eq!(got, brute_force_pairs(&data));
+}
+
+#[test]
+fn join_on_single_server() {
+    let data = chunky(60, 7);
+    let (mut cluster, mut client) = build(&data, 1_000);
+    assert_eq!(cluster.num_servers(), 1);
+    let out = client.spatial_join(&mut cluster);
+    let got: Vec<(u64, u64)> = out.pairs.iter().map(|(a, b)| (a.0, b.0)).collect();
+    assert_eq!(got, brute_force_pairs(&data));
+    // One broadcast message to the root leaf, no probes.
+    assert_eq!(out.messages, 1);
+}
+
+#[test]
+fn join_after_deletions() {
+    let data = chunky(400, 11);
+    let (mut cluster, mut client) = build(&data, 40);
+    for (i, r) in data.iter().enumerate().filter(|(i, _)| i % 3 == 0) {
+        let (removed, _) = client.delete(&mut cluster, Object::new(Oid(i as u64), *r));
+        assert!(removed);
+    }
+    let survivors: Vec<(u64, Rect)> = data
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 3 != 0)
+        .map(|(i, r)| (i as u64, *r))
+        .collect();
+    let mut want: Vec<(u64, u64)> = Vec::new();
+    for i in 0..survivors.len() {
+        for j in (i + 1)..survivors.len() {
+            if survivors[i].1.intersects(&survivors[j].1) {
+                let (a, b) = (survivors[i].0, survivors[j].0);
+                want.push((a.min(b), a.max(b)));
+            }
+        }
+    }
+    want.sort_unstable();
+    let out = client.spatial_join(&mut cluster);
+    let got: Vec<(u64, u64)> = out.pairs.iter().map(|(a, b)| (a.0, b.0)).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn join_cost_scales_with_servers_not_pairs() {
+    // The broadcast is O(N); probes only flow across overlap regions.
+    let data = chunky(800, 13);
+    let (mut cluster, mut client) = build(&data, 60);
+    let out = client.spatial_join(&mut cluster);
+    let n = cluster.num_servers() as u64;
+    assert!(
+        out.messages < 30 * n,
+        "join cost {} looks super-linear in N={n}",
+        out.messages
+    );
+}
+
+#[test]
+fn within_matches_brute_force() {
+    let data = chunky(800, 17);
+    let (mut cluster, mut client) = build(&data, 60);
+    for (px, py, radius) in [(0.5, 0.5, 0.1), (0.1, 0.9, 0.05), (0.7, 0.2, 0.25)] {
+        let p = Point::new(px, py);
+        let got = client.within(&mut cluster, p, radius);
+        let mut want: Vec<(u64, f64)> = data
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                let d = r.min_dist(&p);
+                (d <= radius).then_some((i as u64, d))
+            })
+            .collect();
+        want.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        assert_eq!(got.len(), want.len(), "count mismatch at {p:?} r={radius}");
+        for ((goid, gd), (woid, wd)) in got.iter().zip(&want) {
+            assert!((gd - wd).abs() < 1e-12);
+            // Oids may swap among equal distances; distances must agree.
+            let _ = (goid, woid);
+        }
+    }
+}
+
+#[test]
+fn within_zero_radius_is_point_query() {
+    let data = chunky(300, 19);
+    let (mut cluster, mut client) = build(&data, 50);
+    let p = Point::new(0.42, 0.58);
+    let got = client.within(&mut cluster, p, 0.0);
+    let want = data.iter().filter(|r| r.contains_point(&p)).count();
+    assert_eq!(got.len(), want);
+    assert!(got.iter().all(|(_, d)| *d == 0.0));
+}

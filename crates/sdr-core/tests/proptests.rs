@@ -1,0 +1,155 @@
+//! Property tests of the whole distributed structure: arbitrary
+//! interleavings of inserts, deletes, point and window queries must
+//! agree with a brute-force oracle, for every variant and split policy,
+//! and the structural invariants must hold at quiescence.
+
+use proptest::prelude::*;
+use sdr_core::{Client, ClientId, Cluster, Object, Oid, SdrConfig, Variant};
+use sdr_geom::{Point, Rect};
+use sdr_rtree::SplitPolicy;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Rect),
+    /// Delete the i-th inserted object, if still present.
+    Delete(usize),
+    Point(Point),
+    Window(Rect),
+    Knn(Point, usize),
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0f64..0.95, 0.0f64..0.95, 0.001f64..0.05, 0.001f64..0.05)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            8 => arb_rect().prop_map(Op::Insert),
+            2 => (0usize..400).prop_map(Op::Delete),
+            2 => (0.0f64..1.0, 0.0f64..1.0).prop_map(|(x, y)| Op::Point(Point::new(x, y))),
+            2 => arb_rect().prop_map(Op::Window),
+            1 => (0.0f64..1.0, 0.0f64..1.0, 1usize..6)
+                .prop_map(|(x, y, k)| Op::Knn(Point::new(x, y), k)),
+        ],
+        20..250,
+    )
+}
+
+fn arb_variant() -> impl Strategy<Value = Variant> {
+    prop_oneof![
+        Just(Variant::Basic),
+        Just(Variant::ImClient),
+        Just(Variant::ImServer)
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = SplitPolicy> {
+    prop_oneof![
+        Just(SplitPolicy::Linear),
+        Just(SplitPolicy::Quadratic),
+        Just(SplitPolicy::RStar),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cluster_agrees_with_oracle(
+        ops in arb_ops(),
+        variant in arb_variant(),
+        policy in arb_policy(),
+        capacity in 8usize..40,
+    ) {
+        let mut cluster = Cluster::new(SdrConfig::with_capacity(capacity).with_split(policy));
+        let mut client = Client::new(ClientId(0), variant, 7);
+        // The oracle: (oid, rect, alive).
+        let mut oracle: Vec<(u64, Rect, bool)> = Vec::new();
+
+        for op in &ops {
+            match op {
+                Op::Insert(r) => {
+                    let oid = oracle.len() as u64;
+                    client.insert(&mut cluster, Object::new(Oid(oid), *r));
+                    oracle.push((oid, *r, true));
+                }
+                Op::Delete(i) => {
+                    if let Some((oid, r, alive)) = oracle.get(*i).copied() {
+                        let (removed, _) =
+                            client.delete(&mut cluster, Object::new(Oid(oid), r));
+                        prop_assert_eq!(removed, alive, "delete of {} wrong", oid);
+                        if let Some(e) = oracle.get_mut(*i) {
+                            e.2 = false;
+                        }
+                    }
+                }
+                Op::Point(p) => {
+                    let out = client.point_query(&mut cluster, *p);
+                    let mut got: Vec<u64> = out.results.iter().map(|o| o.oid.0).collect();
+                    let mut want: Vec<u64> = oracle
+                        .iter()
+                        .filter(|(_, r, alive)| *alive && r.contains_point(p))
+                        .map(|(oid, _, _)| *oid)
+                        .collect();
+                    got.sort_unstable();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want, "point query at {:?}", p);
+                }
+                Op::Window(w) => {
+                    let out = client.window_query(&mut cluster, *w);
+                    let mut got: Vec<u64> = out.results.iter().map(|o| o.oid.0).collect();
+                    let mut want: Vec<u64> = oracle
+                        .iter()
+                        .filter(|(_, r, alive)| *alive && r.intersects(w))
+                        .map(|(oid, _, _)| *oid)
+                        .collect();
+                    got.sort_unstable();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want, "window query {:?}", w);
+                }
+                Op::Knn(p, k) => {
+                    let got = client.knn(&mut cluster, *p, *k);
+                    let mut want: Vec<f64> = oracle
+                        .iter()
+                        .filter(|(_, _, alive)| *alive)
+                        .map(|(_, r, _)| r.min_dist(p))
+                        .collect();
+                    want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    want.truncate(*k);
+                    prop_assert_eq!(got.neighbors.len(), want.len());
+                    for ((_, d), w) in got.neighbors.iter().zip(&want) {
+                        prop_assert!((d - w).abs() < 1e-9, "kNN distance {d} vs {w}");
+                    }
+                }
+            }
+        }
+        // Final state: counts and structure.
+        let alive = oracle.iter().filter(|(_, _, a)| *a).count();
+        prop_assert_eq!(cluster.total_objects(), alive);
+        cluster.check_invariants();
+    }
+
+    #[test]
+    fn insert_only_message_cost_is_logarithmic(
+        rects in proptest::collection::vec(arb_rect(), 100..300),
+    ) {
+        let mut cluster = Cluster::new(SdrConfig::with_capacity(10));
+        let mut client = Client::new(ClientId(0), Variant::ImClient, 3);
+        for (i, r) in rects.iter().enumerate() {
+            let out = client.insert(&mut cluster, Object::new(Oid(i as u64), *r));
+            // Worst case per the paper: O(3 log N) for the insert chain,
+            // plus split/OC maintenance. Use a generous structural bound.
+            let n = cluster.num_servers() as f64;
+            let bound = 12.0 * (n + 2.0).log2() + 8.0;
+            prop_assert!(
+                (out.messages as f64) <= bound + cluster.config().capacity as f64,
+                "insert {i} cost {} messages with {} servers",
+                out.messages,
+                cluster.num_servers()
+            );
+        }
+        cluster.check_invariants();
+    }
+}

@@ -1,0 +1,77 @@
+use crate::Coord;
+
+/// A point in the 2-D embedding space.
+///
+/// Points are used as query arguments (point queries, kNN centers) and as
+/// rectangle corners. They are plain `Copy` data.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Coord,
+    /// Vertical coordinate.
+    pub y: Coord,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Point { x, y }
+    }
+
+    /// Squared Euclidean distance to another point.
+    ///
+    /// Kept squared so callers comparing distances avoid the `sqrt`.
+    #[inline]
+    pub fn dist2(&self, other: &Point) -> Coord {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> Coord {
+        self.dist2(other).sqrt()
+    }
+}
+
+impl From<(Coord, Coord)> for Point {
+    #[inline]
+    fn from((x, y): (Coord, Coord)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist2(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let a = Point::new(-1.5, 2.0);
+        let b = Point::new(4.0, -0.5);
+        assert_eq!(a.dist2(&b), b.dist2(&a));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (1.0, 2.0).into();
+        assert_eq!(p, Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = Point::new(7.25, -3.5);
+        assert_eq!(p.dist2(&p), 0.0);
+    }
+}

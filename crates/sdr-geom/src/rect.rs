@@ -1,0 +1,347 @@
+use crate::{Coord, Point};
+
+/// An axis-aligned rectangle: the minimal bounding box (mbb) of the paper.
+///
+/// Invariant: `xmin <= xmax` and `ymin <= ymax`. Constructors normalize
+/// their inputs so the invariant always holds. Degenerate rectangles
+/// (zero width and/or height) are legal — they are the mbbs of points and
+/// segments.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Rect {
+    /// Smallest x coordinate.
+    pub xmin: Coord,
+    /// Smallest y coordinate.
+    pub ymin: Coord,
+    /// Largest x coordinate.
+    pub xmax: Coord,
+    /// Largest y coordinate.
+    pub ymax: Coord,
+}
+
+impl Rect {
+    /// Creates a rectangle, normalizing the corner order.
+    #[inline]
+    pub fn new(x0: Coord, y0: Coord, x1: Coord, y1: Coord) -> Self {
+        Rect {
+            xmin: x0.min(x1),
+            ymin: y0.min(y1),
+            xmax: x0.max(x1),
+            ymax: y0.max(y1),
+        }
+    }
+
+    /// Creates the degenerate rectangle covering a single point.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        Rect {
+            xmin: p.x,
+            ymin: p.y,
+            xmax: p.x,
+            ymax: p.y,
+        }
+    }
+
+    /// Creates a rectangle from its center, width and height.
+    #[inline]
+    pub fn centered(center: Point, width: Coord, height: Coord) -> Self {
+        Rect::new(
+            center.x - width / 2.0,
+            center.y - height / 2.0,
+            center.x + width / 2.0,
+            center.y + height / 2.0,
+        )
+    }
+
+    /// The minimal bounding box of a non-empty iterator of rectangles, or
+    /// `None` for an empty iterator.
+    pub fn mbb<'a, I: IntoIterator<Item = &'a Rect>>(rects: I) -> Option<Rect> {
+        let mut it = rects.into_iter();
+        let first = *it.next()?;
+        Some(it.fold(first, |acc, r| acc.union(r)))
+    }
+
+    /// Width of the rectangle.
+    #[inline]
+    pub fn width(&self) -> Coord {
+        self.xmax - self.xmin
+    }
+
+    /// Height of the rectangle.
+    #[inline]
+    pub fn height(&self) -> Coord {
+        self.ymax - self.ymin
+    }
+
+    /// Area (zero for degenerate rectangles).
+    #[inline]
+    pub fn area(&self) -> Coord {
+        self.width() * self.height()
+    }
+
+    /// Half-perimeter, the "margin" criterion of the R*-tree split.
+    #[inline]
+    pub fn margin(&self) -> Coord {
+        self.width() + self.height()
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+    }
+
+    /// Smallest rectangle containing both `self` and `other`
+    /// (the `mbb(b ∪ c)` operation of the paper).
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            xmin: self.xmin.min(other.xmin),
+            ymin: self.ymin.min(other.ymin),
+            xmax: self.xmax.max(other.xmax),
+            ymax: self.ymax.max(other.ymax),
+        }
+    }
+
+    /// Geometric intersection, or `None` when the rectangles are disjoint.
+    ///
+    /// Rectangles that merely touch (share an edge or corner) intersect in
+    /// a degenerate rectangle, which is returned — a point query on the
+    /// shared edge must be forwarded to both sides, so edge contact counts
+    /// as overlap for the SD-Rtree overlapping-coverage bookkeeping.
+    #[inline]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let xmin = self.xmin.max(other.xmin);
+        let ymin = self.ymin.max(other.ymin);
+        let xmax = self.xmax.min(other.xmax);
+        let ymax = self.ymax.min(other.ymax);
+        if xmin <= xmax && ymin <= ymax {
+            Some(Rect {
+                xmin,
+                ymin,
+                xmax,
+                ymax,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Whether the interiors-or-boundaries of the two rectangles meet.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.xmin <= other.xmax
+            && other.xmin <= self.xmax
+            && self.ymin <= other.ymax
+            && other.ymin <= self.ymax
+    }
+
+    /// Area of the intersection, zero when disjoint.
+    #[inline]
+    pub fn overlap_area(&self, other: &Rect) -> Coord {
+        let w = self.xmax.min(other.xmax) - self.xmin.max(other.xmin);
+        let h = self.ymax.min(other.ymax) - self.ymin.max(other.ymin);
+        if w > 0.0 && h > 0.0 {
+            w * h
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether `other` lies entirely inside (or on the border of) `self`.
+    #[inline]
+    pub fn contains(&self, other: &Rect) -> bool {
+        self.xmin <= other.xmin
+            && self.ymin <= other.ymin
+            && self.xmax >= other.xmax
+            && self.ymax >= other.ymax
+    }
+
+    /// Whether the point lies inside or on the border.
+    #[inline]
+    pub fn contains_point(&self, p: &Point) -> bool {
+        self.xmin <= p.x && p.x <= self.xmax && self.ymin <= p.y && p.y <= self.ymax
+    }
+
+    /// Area increase needed to enlarge `self` to also cover `other` —
+    /// the `CHOOSESUBTREE` criterion of the classical R-tree.
+    #[inline]
+    pub fn enlargement(&self, other: &Rect) -> Coord {
+        self.union(other).area() - self.area()
+    }
+
+    /// Squared minimal Euclidean distance from the rectangle to a point
+    /// (zero if the point is inside). Used by kNN search.
+    #[inline]
+    pub fn min_dist2(&self, p: &Point) -> Coord {
+        let dx = if p.x < self.xmin {
+            self.xmin - p.x
+        } else if p.x > self.xmax {
+            p.x - self.xmax
+        } else {
+            0.0
+        };
+        let dy = if p.y < self.ymin {
+            self.ymin - p.y
+        } else if p.y > self.ymax {
+            p.y - self.ymax
+        } else {
+            0.0
+        };
+        dx * dx + dy * dy
+    }
+
+    /// Minimal Euclidean distance from the rectangle to a point.
+    #[inline]
+    pub fn min_dist(&self, p: &Point) -> Coord {
+        self.min_dist2(p).sqrt()
+    }
+
+    /// Squared minimal distance between two rectangles (zero if they
+    /// intersect). Used by distance queries and spatial joins.
+    #[inline]
+    pub fn min_dist2_rect(&self, other: &Rect) -> Coord {
+        let dx = (self.xmin - other.xmax)
+            .max(other.xmin - self.xmax)
+            .max(0.0);
+        let dy = (self.ymin - other.ymax)
+            .max(other.ymin - self.ymax)
+            .max(0.0);
+        dx * dx + dy * dy
+    }
+
+    /// Grows the rectangle in place so it covers `other`.
+    #[inline]
+    pub fn enlarge(&mut self, other: &Rect) {
+        self.xmin = self.xmin.min(other.xmin);
+        self.ymin = self.ymin.min(other.ymin);
+        self.xmax = self.xmax.max(other.xmax);
+        self.ymax = self.ymax.max(other.ymax);
+    }
+
+    /// Whether the rectangle is degenerate (zero area).
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.width() == 0.0 || self.height() == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: Coord, b: Coord, c: Coord, d: Coord) -> Rect {
+        Rect::new(a, b, c, d)
+    }
+
+    #[test]
+    fn new_normalizes_corners() {
+        assert_eq!(r(2.0, 3.0, 0.0, 1.0), r(0.0, 1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn area_and_margin() {
+        let x = r(0.0, 0.0, 2.0, 3.0);
+        assert_eq!(x.area(), 6.0);
+        assert_eq!(x.margin(), 5.0);
+        assert_eq!(Rect::from_point(Point::new(1.0, 1.0)).area(), 0.0);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(2.0, 2.0, 3.0, 3.0);
+        let u = a.union(&b);
+        assert!(u.contains(&a) && u.contains(&b));
+        assert_eq!(u, r(0.0, 0.0, 3.0, 3.0));
+    }
+
+    #[test]
+    fn intersection_of_overlapping() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let b = r(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(a.intersection(&b), Some(r(1.0, 1.0, 2.0, 2.0)));
+        assert_eq!(a.overlap_area(&b), 1.0);
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_none() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(2.0, 2.0, 3.0, 3.0);
+        assert_eq!(a.intersection(&b), None);
+        assert!(!a.intersects(&b));
+        assert_eq!(a.overlap_area(&b), 0.0);
+    }
+
+    #[test]
+    fn touching_rects_intersect_degenerately() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(1.0, 0.0, 2.0, 1.0);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, r(1.0, 0.0, 1.0, 1.0));
+        assert_eq!(i.area(), 0.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.overlap_area(&b), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let big = r(0.0, 0.0, 10.0, 10.0);
+        let small = r(2.0, 2.0, 3.0, 3.0);
+        assert!(big.contains(&small));
+        assert!(!small.contains(&big));
+        assert!(big.contains(&big));
+        assert!(big.contains_point(&Point::new(0.0, 10.0)));
+        assert!(!big.contains_point(&Point::new(-0.1, 5.0)));
+    }
+
+    #[test]
+    fn enlargement_cost() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let inside = r(0.25, 0.25, 0.75, 0.75);
+        assert_eq!(a.enlargement(&inside), 0.0);
+        let outside = r(0.0, 0.0, 2.0, 1.0);
+        assert_eq!(a.enlargement(&outside), 1.0);
+    }
+
+    #[test]
+    fn min_dist_to_point() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(a.min_dist2(&Point::new(0.5, 0.5)), 0.0);
+        assert_eq!(a.min_dist2(&Point::new(2.0, 0.5)), 1.0);
+        assert_eq!(a.min_dist2(&Point::new(2.0, 2.0)), 2.0);
+        assert!((a.min_dist(&Point::new(2.0, 2.0)) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_dist_between_rects() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(2.0, 0.0, 3.0, 1.0);
+        assert_eq!(a.min_dist2_rect(&b), 1.0);
+        let c = r(0.5, 0.5, 2.0, 2.0);
+        assert_eq!(a.min_dist2_rect(&c), 0.0);
+        let d = r(2.0, 2.0, 3.0, 3.0);
+        assert_eq!(a.min_dist2_rect(&d), 2.0);
+    }
+
+    #[test]
+    fn mbb_of_iterator() {
+        let rs = [r(0.0, 0.0, 1.0, 1.0), r(-1.0, 2.0, 0.5, 3.0)];
+        assert_eq!(Rect::mbb(rs.iter()), Some(r(-1.0, 0.0, 1.0, 3.0)));
+        assert_eq!(Rect::mbb(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn centered_constructor() {
+        let c = Rect::centered(Point::new(1.0, 1.0), 2.0, 4.0);
+        assert_eq!(c, r(0.0, -1.0, 2.0, 3.0));
+        assert_eq!(c.center(), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn enlarge_in_place() {
+        let mut a = r(0.0, 0.0, 1.0, 1.0);
+        a.enlarge(&r(2.0, -1.0, 3.0, 0.5));
+        assert_eq!(a, r(0.0, -1.0, 3.0, 1.0));
+    }
+}

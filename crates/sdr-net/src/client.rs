@@ -1,0 +1,364 @@
+//! A TCP client component: the IMCLIENT variant of §3 over sockets.
+//!
+//! The client binds a reply listener, keeps an [`Image`] corrected by
+//! IAMs, addresses servers with CHOOSEFROMIMAGE, and applies the direct
+//! termination protocol of §4.3 to decide when a query is complete.
+
+use crate::node::{read_frame, send_message, Deployment};
+use crate::NetCluster;
+use sdr_core::ids::{ClientId, NodeRef, QueryId};
+use sdr_core::msg::{
+    Endpoint, ImageHolder, Message, Payload, QueryKind, QueryMode, QueryMsg, ReplyProtocol,
+};
+use sdr_core::{Image, Object, ServerId};
+use sdr_geom::{Point, Rect};
+use std::net::TcpListener;
+use std::sync::atomic::AtomicU32;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Errors a network client can hit.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The termination protocol did not complete within the timeout.
+    Timeout,
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Timeout => write!(f, "query did not complete in time"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Counter handing out distinct client ids within the process.
+static NEXT_CLIENT: AtomicU32 = AtomicU32::new(0);
+
+/// A TCP client of a [`NetCluster`].
+#[derive(Debug)]
+pub struct NetClient {
+    id: ClientId,
+    image: Image,
+    listener: TcpListener,
+    deployment: Arc<Deployment>,
+    next_qid: u64,
+    /// How long to wait for the reply protocol to complete.
+    pub timeout: Duration,
+}
+
+impl NetClient {
+    /// Connects a fresh client (empty image; server 0 as contact).
+    pub fn connect(cluster: &NetCluster) -> std::io::Result<NetClient> {
+        let id = ClientId(NEXT_CLIENT.fetch_add(1, std::sync::atomic::Ordering::SeqCst));
+        let deployment = cluster.deployment.clone();
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        deployment.register(Endpoint::Client(id), listener.local_addr()?.port());
+        listener.set_nonblocking(true)?;
+        Ok(NetClient {
+            id,
+            image: Image::new(),
+            listener,
+            deployment,
+            next_qid: 0,
+            timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// The client's image (inspectable for convergence experiments).
+    pub fn image(&self) -> &Image {
+        &self.image
+    }
+
+    fn qid(&mut self) -> QueryId {
+        self.next_qid += 1;
+        QueryId(((self.id.0 as u64) << 32) | self.next_qid)
+    }
+
+    fn send(&self, to: ServerId, payload: Payload) {
+        send_message(
+            &self.deployment,
+            &Message {
+                from: Endpoint::Client(self.id),
+                to: Endpoint::Server(to),
+                payload,
+            },
+        );
+    }
+
+    /// Waits for the next reply frame addressed to this client.
+    fn recv(&self, deadline: Instant) -> Result<Message, NetError> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if let Some(msg) = read_frame(stream) {
+                        return Ok(msg);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() > deadline {
+                        return Err(NetError::Timeout);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+
+    /// Inserts an object. Returns once the insert is *dispatched*; if an
+    /// out-of-range path produced an IAM, a short grace read absorbs it
+    /// (inserts are acknowledged only when repaired, §3.2).
+    pub fn insert(&mut self, obj: Object) -> Result<(), NetError> {
+        let target = self.image.choose(&obj.mbb);
+        let iam_to = ImageHolder::Client(self.id);
+        match target {
+            Some(link) if link.is_data() => self.send(
+                link.node.server,
+                Payload::InsertAtLeaf {
+                    obj,
+                    trace: vec![],
+                    iam_to,
+                    initial: true,
+                },
+            ),
+            Some(link) => self.send(
+                link.node.server,
+                Payload::InsertAscend {
+                    obj,
+                    trace: vec![],
+                    iam_to,
+                    initial: true,
+                },
+            ),
+            None => self.send(
+                ServerId(0),
+                Payload::InsertAtLeaf {
+                    obj,
+                    trace: vec![],
+                    iam_to,
+                    initial: true,
+                },
+            ),
+        }
+        // Sequential-operation semantics: wait for the structure to
+        // quiesce (splits, adjustments, OC maintenance) before the next
+        // operation. Overlapping maintenance chains are the concurrency
+        // problem the paper leaves open (§6), so the client — like the
+        // paper's own evaluation — issues one operation at a time.
+        self.quiesce()?;
+        // Absorb pending acks/IAMs (direct inserts are never
+        // acknowledged, §3.2, so we do not insist on one).
+        while let Ok(Message { payload, .. }) = self.recv(Instant::now()) {
+            if let Payload::InsertAck { trace, .. } = payload {
+                self.image.absorb(&trace);
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocks until no server-bound message is in flight anywhere in the
+    /// deployment.
+    pub fn quiesce(&self) -> Result<(), NetError> {
+        let deadline = Instant::now() + self.timeout;
+        while self
+            .deployment
+            .in_flight
+            .load(std::sync::atomic::Ordering::SeqCst)
+            != 0
+        {
+            if Instant::now() > deadline {
+                return Err(NetError::Timeout);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        Ok(())
+    }
+
+    /// Runs a point query and returns the matching objects.
+    pub fn point_query(&mut self, p: Point) -> Result<Vec<Object>, NetError> {
+        self.run_query(QueryKind::Point(p))
+    }
+
+    /// Runs a window query and returns the matching objects.
+    pub fn window_query(&mut self, w: Rect) -> Result<Vec<Object>, NetError> {
+        self.run_query(QueryKind::Window(w))
+    }
+
+    fn run_query(&mut self, query: QueryKind) -> Result<Vec<Object>, NetError> {
+        let qid = self.qid();
+        let region = query.rect();
+        let target = match query {
+            QueryKind::Point(_) => self.image.choose_data(&region),
+            QueryKind::Window(_) => self.image.choose(&region),
+        }
+        .map(|l| l.node)
+        .unwrap_or(NodeRef::data(ServerId(0)));
+        self.send(
+            target.server,
+            Payload::Query(QueryMsg {
+                target,
+                query,
+                region,
+                mode: QueryMode::Check,
+                qid,
+                initial: true,
+                repaired: false,
+                iam_carrier: false,
+                visited: vec![],
+                results_to: self.id,
+                iam_to: ImageHolder::Client(self.id),
+                protocol: ReplyProtocol::Direct,
+                reply_via: None,
+                parent_branch: 0,
+                trace: vec![],
+            }),
+        );
+
+        // Direct termination protocol: one report per hop; each report's
+        // fan-out tells us how many more to expect.
+        let deadline = Instant::now() + self.timeout;
+        let mut expected: i64 = 1;
+        let mut received: i64 = 0;
+        let mut results: Vec<Object> = Vec::new();
+        while received < expected {
+            let msg = self.recv(deadline)?;
+            if let Payload::QueryReport {
+                qid: rq,
+                results: r,
+                spawned,
+                trace,
+                ..
+            } = msg.payload
+            {
+                if rq == qid {
+                    received += 1;
+                    expected += spawned as i64;
+                    results.extend(r);
+                    self.image.absorb(&trace);
+                }
+                // Replies from older queries (late branches) are dropped.
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        results.retain(|o| seen.insert(o.oid));
+        Ok(results)
+    }
+
+    /// Runs a distributed k-nearest-neighbour query (the §7 extension):
+    /// up to `k` `(object, distance)` pairs, nearest first. Same
+    /// estimate-then-verify algorithm as the simulator client
+    /// (`sdr_core::knn`).
+    pub fn knn(&mut self, p: Point, k: usize) -> Result<Vec<(Object, f64)>, NetError> {
+        if k == 0 {
+            return Ok(vec![]);
+        }
+        // Phase 1: local estimate from the most promising data node.
+        let region = Rect::from_point(p);
+        let target = self
+            .image
+            .choose_data(&region)
+            .map(|l| l.node)
+            .unwrap_or(NodeRef::data(ServerId(0)));
+        let qid = self.qid();
+        self.send(
+            target.server,
+            Payload::KnnLocal {
+                p,
+                k,
+                qid,
+                results_to: self.id,
+            },
+        );
+        let deadline = Instant::now() + self.timeout;
+        let mut radius = 0.01f64;
+        loop {
+            let msg = self.recv(deadline)?;
+            if let Payload::KnnLocalReply { qid: rq, items, dr } = msg.payload {
+                if rq == qid {
+                    if items.len() >= k {
+                        radius = items[k - 1].1.max(1e-9);
+                    } else if let Some(dr) = dr {
+                        radius = dr.width().max(dr.height()).max(0.01);
+                    }
+                    break;
+                }
+            }
+        }
+        // Phase 2: verification by expanding window queries.
+        loop {
+            let window = Rect::new(p.x - radius, p.y - radius, p.x + radius, p.y + radius);
+            let mut candidates: Vec<(Object, f64)> = self
+                .window_query(window)?
+                .into_iter()
+                .map(|o| (o, o.mbb.min_dist(&p)))
+                .collect();
+            candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            candidates.retain(|(_, d)| *d <= radius);
+            if candidates.len() >= k || radius >= 4.0 {
+                candidates.truncate(k);
+                return Ok(candidates);
+            }
+            radius *= 2.0;
+        }
+    }
+
+    /// Deletes an object; returns whether some server removed it.
+    pub fn delete(&mut self, obj: Object) -> Result<bool, NetError> {
+        let qid = self.qid();
+        let target = self
+            .image
+            .choose_data(&obj.mbb)
+            .map(|l| l.node)
+            .unwrap_or(NodeRef::data(ServerId(0)));
+        self.send(
+            target.server,
+            Payload::Delete {
+                obj,
+                qid,
+                mode: QueryMode::Check,
+                region: obj.mbb,
+                visited: vec![],
+                target,
+                results_to: self.id,
+                iam_to: ImageHolder::Client(self.id),
+                trace: vec![],
+            },
+        );
+        let deadline = Instant::now() + self.timeout;
+        let mut expected: i64 = 1;
+        let mut received: i64 = 0;
+        let mut removed = false;
+        while received < expected {
+            let msg = self.recv(deadline)?;
+            if let Payload::DeleteReport {
+                qid: rq,
+                removed: r,
+                spawned,
+                trace,
+            } = msg.payload
+            {
+                if rq == qid {
+                    received += 1;
+                    expected += spawned as i64;
+                    removed |= r;
+                    self.image.absorb(&trace);
+                }
+            }
+        }
+        // Deletion may trigger eliminations and rotations; quiesce.
+        self.quiesce()?;
+        Ok(removed)
+    }
+}

@@ -1,0 +1,58 @@
+//! Process-local deployment manager: launches the first node, hands out
+//! client connections, and shuts the whole deployment down.
+
+use crate::node::{spawn_node, Deployment};
+use sdr_core::{SdrConfig, ServerId};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// A running TCP deployment of the SD-Rtree on localhost.
+///
+/// Every node listens on an OS-assigned port registered in the
+/// deployment's address directory; nodes spawn themselves as servers
+/// split. The manager bootstraps server 0 and owns the stop flag.
+#[derive(Debug)]
+pub struct NetCluster {
+    pub(crate) deployment: Arc<Deployment>,
+}
+
+impl NetCluster {
+    /// Launches a deployment with a single empty server.
+    pub fn launch(config: SdrConfig) -> std::io::Result<NetCluster> {
+        config.validate();
+        let deployment = Arc::new(Deployment {
+            registry: parking_lot::RwLock::new(std::collections::HashMap::new()),
+            next_server: Arc::new(AtomicU32::new(1)),
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+            handle_lock: Arc::new(parking_lot::Mutex::new(())),
+            in_flight: Arc::new(std::sync::atomic::AtomicI64::new(0)),
+        });
+        spawn_node(deployment.clone(), ServerId(0))?;
+        Ok(NetCluster { deployment })
+    }
+
+    /// Alias of [`NetCluster::launch`], kept for symmetry with earlier
+    /// fixed-port revisions of this API.
+    pub fn launch_auto(config: SdrConfig) -> std::io::Result<NetCluster> {
+        Self::launch(config)
+    }
+
+    /// Number of servers spawned so far.
+    pub fn num_servers(&self) -> usize {
+        self.deployment.next_server.load(Ordering::SeqCst) as usize
+    }
+
+    /// Stops every node (their accept loops observe the flag within a
+    /// millisecond or two).
+    pub fn shutdown(&self) {
+        self.deployment.stop.store(true, Ordering::SeqCst);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+impl Drop for NetCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,53 @@
+//! # sdr-net — TCP deployment of the SD-Rtree
+//!
+//! The paper targets "large spatial datasets over clusters of
+//! interconnected servers" communicating "only through point-to-point
+//! messages" (§1). `sdr-core` implements the full message protocol
+//! behind a transport-agnostic state machine; this crate runs that state
+//! machine over real sockets:
+//!
+//! * [`wire`] — a compact, hand-rolled binary codec for every protocol
+//!   message (length-prefixed frames; no serialization framework).
+//! * [`node`] — a thread-per-server TCP node: accepts frames, feeds them
+//!   to the embedded [`sdr_core::Server`], ships the outbox.
+//! * [`cluster`] — a process-local deployment manager that binds
+//!   listeners, spawns nodes when servers split, and tears everything
+//!   down.
+//! * [`client`] — a TCP client component maintaining an image (the
+//!   IMCLIENT variant), with the direct termination protocol of §4.3.
+//!
+//! Every node binds an OS-assigned port registered in the deployment's
+//! address directory — the role a node manager plays in a production
+//! deployment. Connections are short-lived (one frame per connection):
+//! simple, robust, and plenty for demonstrating the structure outside
+//! the simulator — throughput tuning is explicitly out of scope, as is
+//! concurrency control, which the paper itself lists as open (§6): the
+//! deployment serializes message handling and clients quiesce between
+//! operations, matching the paper's own evaluation regime.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use sdr_core::{Object, Oid, SdrConfig};
+//! use sdr_geom::{Point, Rect};
+//! use sdr_net::{NetClient, NetCluster};
+//!
+//! let cluster = NetCluster::launch(SdrConfig::with_capacity(100)).unwrap();
+//! let mut client = NetClient::connect(&cluster).unwrap();
+//! client.insert(Object::new(Oid(1), Rect::new(0.1, 0.1, 0.2, 0.2))).unwrap();
+//! let hits = client.point_query(Point::new(0.15, 0.15)).unwrap();
+//! assert_eq!(hits.len(), 1);
+//! cluster.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod node;
+pub mod wire;
+
+pub use client::NetClient;
+pub use cluster::NetCluster;
+pub use wire::{decode_message, encode_message, WireError};

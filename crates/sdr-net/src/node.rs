@@ -1,0 +1,226 @@
+//! A TCP server node: one SD-Rtree server behind a socket.
+//!
+//! Each node runs an accept loop on `base_port + 1 + server_id`. A
+//! connection carries exactly one frame (a [`sdr_core::Message`]); the
+//! node feeds it to the embedded [`Server`] state machine and ships the
+//! resulting outbox — server-bound messages to peer ports, client-bound
+//! messages to the client's reply port (`base_port - 1 - client_id`).
+//!
+//! When the state machine allocates a new server (a split), the node
+//! *synchronously* binds the new server's listener before forwarding any
+//! message to it, so the `SplitCreate` can never be lost; the new node's
+//! accept loop then runs on its own thread. This is the node-manager
+//! role a production deployment would delegate to its orchestrator.
+
+use crate::wire::{decode_message, encode_message};
+use bytes::Bytes;
+use sdr_core::msg::{Endpoint, Message};
+use sdr_core::{Allocator, Outbox, SdrConfig, Server, ServerId};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared deployment state every node needs: the address directory, the
+/// server id allocator, and the shutdown flag.
+#[derive(Debug)]
+pub(crate) struct Deployment {
+    /// Address directory: endpoint → OS-assigned port. Every listener
+    /// binds port 0 and registers here *before* anything can address it.
+    /// A production deployment would get this from its node manager;
+    /// OS-assigned ports make parallel deployments and rapid restarts
+    /// collision-free (no fixed ranges, no `TIME_WAIT` interference).
+    pub registry: parking_lot::RwLock<std::collections::HashMap<Endpoint, u16>>,
+    /// Next server id — shared so concurrent splits never collide.
+    pub next_server: Arc<AtomicU32>,
+    pub config: SdrConfig,
+    pub stop: Arc<AtomicBool>,
+    /// Serializes message *handling* across the deployment.
+    ///
+    /// The paper leaves concurrency control explicitly open (§6: "our
+    /// study ... yet remains about entirely open with respect to ...
+    /// concurrency, transactions"). Unserialized handling does break the
+    /// structure: a rotation applying snapshot links can race a split
+    /// and orphan the new server. Until a concurrency-control scheme
+    /// exists, the TCP layer executes the *distribution* faithfully
+    /// (real sockets, framing, per-server state) while handling one
+    /// message at a time, matching the synchronous semantics the paper's
+    /// own evaluation assumes. Senders never block on receivers'
+    /// processing (frames queue in the OS accept backlog), so the lock
+    /// cannot deadlock.
+    pub handle_lock: Arc<parking_lot::Mutex<()>>,
+    /// Server-bound messages sent but not yet fully handled. Clients
+    /// wait for this to reach zero between operations
+    /// ([`crate::NetClient::quiesce`]), reproducing the simulator's
+    /// sequential-operation semantics over real sockets — overlapping
+    /// maintenance chains are exactly the concurrency problem the paper
+    /// leaves open.
+    pub in_flight: Arc<std::sync::atomic::AtomicI64>,
+}
+
+impl Deployment {
+    /// Registers an endpoint's port in the directory.
+    pub fn register(&self, endpoint: Endpoint, port: u16) {
+        self.registry.write().insert(endpoint, port);
+    }
+
+    /// Looks up an endpoint's port.
+    pub fn lookup(&self, endpoint: Endpoint) -> Option<u16> {
+        self.registry.read().get(&endpoint).copied()
+    }
+}
+
+/// Binds a node's listener synchronously (registering its OS-assigned
+/// port), then spawns its accept loop.
+pub(crate) fn spawn_node(deployment: Arc<Deployment>, id: ServerId) -> std::io::Result<()> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    deployment.register(Endpoint::Server(id), listener.local_addr()?.port());
+    listener.set_nonblocking(true)?;
+    let server = if id.0 == 0 {
+        Server::new(id, deployment.config)
+    } else {
+        Server::bare(id, deployment.config)
+    };
+    std::thread::Builder::new()
+        .name(format!("sdr-node-{}", id.0))
+        .spawn(move || accept_loop(deployment, listener, server))
+        .expect("spawn node thread");
+    Ok(())
+}
+
+fn accept_loop(deployment: Arc<Deployment>, listener: TcpListener, mut server: Server) {
+    while !deployment.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Some(msg) = read_frame(stream) {
+                    handle_message(&deployment, &mut server, msg);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_message(deployment: &Arc<Deployment>, server: &mut Server, msg: Message) {
+    let _serialized = deployment.handle_lock.lock();
+    if std::env::var_os("SDR_NET_TRACE").is_some() {
+        eprintln!(
+            "[{:?}] S{} <- {:?}: {}",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_millis()
+                % 100_000,
+            server.id.0,
+            msg.from,
+            payload_name(&msg.payload),
+        );
+    }
+    let mut out =
+        Outbox::with_allocator(server.id, Allocator::Shared(deployment.next_server.clone()));
+    server.handle(msg.from, msg.payload, &mut out);
+    // Bind listeners for freshly allocated servers *before* any message
+    // can reach them.
+    for new_id in &out.allocated {
+        if let Err(e) = spawn_node(deployment.clone(), *new_id) {
+            eprintln!("sdr-net: failed to spawn server {}: {e}", new_id.0);
+        }
+    }
+    for m in out.msgs {
+        send_message(deployment, &m);
+    }
+    // Deferred messages (orphan reinserts) go last; with clients
+    // quiescing between operations this preserves the repair-before-
+    // reinsert ordering the simulator guarantees exactly.
+    for m in out.deferred {
+        send_message(deployment, &m);
+    }
+    deployment.in_flight.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn payload_name(p: &sdr_core::Payload) -> &'static str {
+    use sdr_core::Payload as P;
+    match p {
+        P::InsertAtLeaf { .. } => "InsertAtLeaf",
+        P::InsertAscend { .. } => "InsertAscend",
+        P::InsertDescend { .. } => "InsertDescend",
+        P::StoreAtLeaf { .. } => "StoreAtLeaf",
+        P::InsertAck { .. } => "InsertAck",
+        P::SplitCreate { .. } => "SplitCreate",
+        P::ChildSplit { .. } => "ChildSplit",
+        P::AdjustHeight { .. } => "AdjustHeight",
+        P::ChildRemoved { .. } => "ChildRemoved",
+        P::GatherRotation { .. } => "GatherRotation",
+        P::GatherRotationInner { .. } => "GatherRotationInner",
+        P::RotationInfo { .. } => "RotationInfo",
+        P::SetRouting { .. } => "SetRouting",
+        P::SetParent { .. } => "SetParent",
+        P::RefreshChild { .. } => "RefreshChild",
+        P::ReplaceChild { .. } => "ReplaceChild",
+        P::UpdateOc { .. } => "UpdateOc",
+        P::RefreshOc { .. } => "RefreshOc",
+        P::ShrinkChild { .. } => "ShrinkChild",
+        P::Query(_) => "Query",
+        P::QueryReport { .. } => "QueryReport",
+        P::QueryAggregate { .. } => "QueryAggregate",
+        P::Delete { .. } => "Delete",
+        P::DeleteReport { .. } => "DeleteReport",
+        P::Eliminate { .. } => "Eliminate",
+        P::ClearParent { .. } => "ClearParent",
+        P::DropOcAncestor { .. } => "DropOcAncestor",
+        P::KnnLocal { .. } => "KnnLocal",
+        P::KnnLocalReply { .. } => "KnnLocalReply",
+        P::JoinStart { .. } => "JoinStart",
+        P::JoinProbe { .. } => "JoinProbe",
+        P::JoinReport { .. } => "JoinReport",
+        P::Routed { .. } => "Routed",
+    }
+}
+
+/// Delivers one message to its endpoint's port, retrying briefly (a
+/// freshly spawned node may still be binding).
+pub(crate) fn send_message(deployment: &Deployment, msg: &Message) {
+    let is_server_bound = matches!(msg.to, Endpoint::Server(_));
+    if is_server_bound {
+        deployment.in_flight.fetch_add(1, Ordering::SeqCst);
+    }
+    let frame = encode_message(msg);
+    for attempt in 0..50u64 {
+        // Resolve the port on every attempt: listeners register before
+        // anything can address them, but a client may not have connected
+        // yet when its first replies arrive.
+        if let Some(port) = deployment.lookup(msg.to) {
+            if let Ok(mut stream) = TcpStream::connect(("127.0.0.1", port)) {
+                if stream.write_all(&frame).is_ok() {
+                    let _ = stream.shutdown(Shutdown::Write);
+                    return;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2 * (attempt + 1)));
+    }
+    eprintln!("sdr-net: dropping undeliverable message to {:?}", msg.to);
+    if is_server_bound {
+        // Keep the quiescence accounting truthful.
+        deployment.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Reads one length-prefixed frame from a stream and decodes it.
+pub(crate) fn read_frame(mut stream: TcpStream) -> Option<Message> {
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf).ok()?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > 64 * 1024 * 1024 {
+        return None;
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).ok()?;
+    let mut bytes = Bytes::from(body);
+    decode_message(&mut bytes).ok()
+}

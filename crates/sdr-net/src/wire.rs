@@ -1,0 +1,1250 @@
+//! Binary wire codec for the SD-Rtree protocol.
+//!
+//! Every [`Message`] is encoded as a length-prefixed frame:
+//! `u32 (big-endian payload length) ++ payload`. The payload encoding is
+//! a straightforward tag-based scheme over `bytes`: fixed-width integers
+//! big-endian, `f64` as IEEE-754 bits, collections as `u32` count plus
+//! elements. No serialization framework is used — the codec is ~500
+//! lines of mechanical code with full round-trip property coverage,
+//! which keeps the dependency set small and the format auditable.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sdr_core::ids::{ClientId, NodeKind, NodeRef, Oid, QueryId, ServerId};
+use sdr_core::msg::{
+    ClientOp, Endpoint, ImageHolder, Message, Payload, QueryKind, QueryMode, QueryMsg,
+    ReplyProtocol,
+};
+use sdr_core::node::{Object, RoutingNode};
+use sdr_core::oc::{OcEntry, OcTable};
+use sdr_core::Link;
+use sdr_geom::{Point, Rect};
+
+/// Decoding failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    Truncated,
+    /// An enum tag byte had no corresponding variant.
+    BadTag(&'static str, u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadTag(what, tag) => write!(f, "invalid {what} tag {tag:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+type Result<T> = std::result::Result<T, WireError>;
+
+// ------------------------------------------------------------ encoding --
+
+/// Encodes a message into a fresh frame (length prefix included).
+pub fn encode_message(msg: &Message) -> Bytes {
+    let mut body = BytesMut::with_capacity(256);
+    put_endpoint(&mut body, &msg.from);
+    put_endpoint(&mut body, &msg.to);
+    put_payload(&mut body, &msg.payload);
+    let mut frame = BytesMut::with_capacity(body.len() + 4);
+    frame.put_u32(body.len() as u32);
+    frame.extend_from_slice(&body);
+    frame.freeze()
+}
+
+fn put_endpoint(b: &mut BytesMut, e: &Endpoint) {
+    match e {
+        Endpoint::Client(c) => {
+            b.put_u8(0);
+            b.put_u32(c.0);
+        }
+        Endpoint::Server(s) => {
+            b.put_u8(1);
+            b.put_u32(s.0);
+        }
+    }
+}
+
+fn put_rect(b: &mut BytesMut, r: &Rect) {
+    b.put_f64(r.xmin);
+    b.put_f64(r.ymin);
+    b.put_f64(r.xmax);
+    b.put_f64(r.ymax);
+}
+
+fn put_point(b: &mut BytesMut, p: &Point) {
+    b.put_f64(p.x);
+    b.put_f64(p.y);
+}
+
+fn put_node_ref(b: &mut BytesMut, n: &NodeRef) {
+    b.put_u32(n.server.0);
+    b.put_u8(match n.kind {
+        NodeKind::Data => 0,
+        NodeKind::Routing => 1,
+    });
+}
+
+fn put_link(b: &mut BytesMut, l: &Link) {
+    put_node_ref(b, &l.node);
+    put_rect(b, &l.dr);
+    b.put_u32(l.height);
+}
+
+fn put_opt_rect(b: &mut BytesMut, r: &Option<Rect>) {
+    match r {
+        Some(r) => {
+            b.put_u8(1);
+            put_rect(b, r);
+        }
+        None => b.put_u8(0),
+    }
+}
+
+fn put_opt_u32(b: &mut BytesMut, v: &Option<u32>) {
+    match v {
+        Some(v) => {
+            b.put_u8(1);
+            b.put_u32(*v);
+        }
+        None => b.put_u8(0),
+    }
+}
+
+fn put_object(b: &mut BytesMut, o: &Object) {
+    b.put_u64(o.oid.0);
+    put_rect(b, &o.mbb);
+}
+
+fn put_objects(b: &mut BytesMut, os: &[Object]) {
+    b.put_u32(os.len() as u32);
+    for o in os {
+        put_object(b, o);
+    }
+}
+
+fn put_trace(b: &mut BytesMut, t: &[Link]) {
+    b.put_u32(t.len() as u32);
+    for l in t {
+        put_link(b, l);
+    }
+}
+
+fn put_oc_table(b: &mut BytesMut, t: &OcTable) {
+    b.put_u32(t.len() as u32);
+    for e in t.entries() {
+        b.put_u32(e.ancestor.0);
+        put_link(b, &e.outer);
+        put_rect(b, &e.rect);
+    }
+}
+
+fn put_routing_node(b: &mut BytesMut, n: &RoutingNode) {
+    b.put_u32(n.height);
+    put_rect(b, &n.dr);
+    put_link(b, &n.left);
+    put_link(b, &n.right);
+    put_opt_u32(b, &n.parent.map(|p| p.0));
+    put_oc_table(b, &n.oc);
+}
+
+fn put_image_holder(b: &mut BytesMut, h: &ImageHolder) {
+    match h {
+        ImageHolder::Client(c) => {
+            b.put_u8(0);
+            b.put_u32(c.0);
+        }
+        ImageHolder::Server(s) => {
+            b.put_u8(1);
+            b.put_u32(s.0);
+        }
+        ImageHolder::Nobody => b.put_u8(2),
+    }
+}
+
+fn put_query_kind(b: &mut BytesMut, q: &QueryKind) {
+    match q {
+        QueryKind::Point(p) => {
+            b.put_u8(0);
+            put_point(b, p);
+        }
+        QueryKind::Window(w) => {
+            b.put_u8(1);
+            put_rect(b, w);
+        }
+    }
+}
+
+fn put_query_mode(b: &mut BytesMut, m: &QueryMode) {
+    b.put_u8(match m {
+        QueryMode::Check => 0,
+        QueryMode::Ascend => 1,
+        QueryMode::Descend => 2,
+    });
+}
+
+fn put_visited(b: &mut BytesMut, v: &[NodeRef]) {
+    b.put_u32(v.len() as u32);
+    for n in v {
+        put_node_ref(b, n);
+    }
+}
+
+fn put_query_msg(b: &mut BytesMut, q: &QueryMsg) {
+    put_node_ref(b, &q.target);
+    put_query_kind(b, &q.query);
+    put_rect(b, &q.region);
+    put_query_mode(b, &q.mode);
+    b.put_u64(q.qid.0);
+    b.put_u8(q.initial as u8);
+    b.put_u8(q.repaired as u8);
+    b.put_u8(q.iam_carrier as u8);
+    put_visited(b, &q.visited);
+    b.put_u32(q.results_to.0);
+    put_image_holder(b, &q.iam_to);
+    b.put_u8(match q.protocol {
+        ReplyProtocol::Direct => 0,
+        ReplyProtocol::ReversePath => 1,
+        ReplyProtocol::Probabilistic => 2,
+    });
+    put_opt_u32(b, &q.reply_via.map(|s| s.0));
+    b.put_u64(q.parent_branch);
+    put_trace(b, &q.trace);
+}
+
+fn put_client_op(b: &mut BytesMut, op: &ClientOp) {
+    match op {
+        ClientOp::Insert(o) => {
+            b.put_u8(0);
+            put_object(b, o);
+        }
+        ClientOp::Point(p, qid) => {
+            b.put_u8(1);
+            put_point(b, p);
+            b.put_u64(qid.0);
+        }
+        ClientOp::Window(w, qid) => {
+            b.put_u8(2);
+            put_rect(b, w);
+            b.put_u64(qid.0);
+        }
+        ClientOp::Delete(o, qid) => {
+            b.put_u8(3);
+            put_object(b, o);
+            b.put_u64(qid.0);
+        }
+    }
+}
+
+fn put_payload(b: &mut BytesMut, p: &Payload) {
+    match p {
+        Payload::InsertAtLeaf {
+            obj,
+            trace,
+            iam_to,
+            initial,
+        } => {
+            b.put_u8(0);
+            put_object(b, obj);
+            put_trace(b, trace);
+            put_image_holder(b, iam_to);
+            b.put_u8(*initial as u8);
+        }
+        Payload::InsertAscend {
+            obj,
+            trace,
+            iam_to,
+            initial,
+        } => {
+            b.put_u8(1);
+            put_object(b, obj);
+            put_trace(b, trace);
+            put_image_holder(b, iam_to);
+            b.put_u8(*initial as u8);
+        }
+        Payload::InsertDescend {
+            obj,
+            oc_acc,
+            new_dr,
+            trace,
+            iam_to,
+        } => {
+            b.put_u8(2);
+            put_object(b, obj);
+            put_oc_table(b, oc_acc);
+            put_opt_rect(b, new_dr);
+            put_trace(b, trace);
+            put_image_holder(b, iam_to);
+        }
+        Payload::StoreAtLeaf {
+            obj,
+            new_dr,
+            oc,
+            trace,
+            iam_to,
+        } => {
+            b.put_u8(3);
+            put_object(b, obj);
+            put_rect(b, new_dr);
+            put_oc_table(b, oc);
+            put_trace(b, trace);
+            put_image_holder(b, iam_to);
+        }
+        Payload::InsertAck { oid, trace, direct } => {
+            b.put_u8(4);
+            b.put_u64(oid.0);
+            put_trace(b, trace);
+            b.put_u8(*direct as u8);
+        }
+        Payload::SplitCreate {
+            routing,
+            objects,
+            data_dr,
+            data_oc,
+        } => {
+            b.put_u8(5);
+            put_routing_node(b, routing);
+            put_objects(b, objects);
+            put_rect(b, data_dr);
+            put_oc_table(b, data_oc);
+        }
+        Payload::ChildSplit {
+            old_child,
+            new_child,
+            children,
+        } => {
+            b.put_u8(6);
+            put_node_ref(b, old_child);
+            put_link(b, new_child);
+            put_link(b, &children.0);
+            put_link(b, &children.1);
+        }
+        Payload::AdjustHeight {
+            child,
+            children,
+            tall_grandchildren,
+        } => {
+            b.put_u8(7);
+            put_link(b, child);
+            put_link(b, &children.0);
+            put_link(b, &children.1);
+            match tall_grandchildren {
+                Some((f, g)) => {
+                    b.put_u8(1);
+                    put_link(b, f);
+                    put_link(b, g);
+                }
+                None => b.put_u8(0),
+            }
+        }
+        Payload::ChildRemoved {
+            old_child,
+            new_child,
+        } => {
+            b.put_u8(8);
+            put_node_ref(b, old_child);
+            put_link(b, new_child);
+        }
+        Payload::GatherRotation { origin } => {
+            b.put_u8(9);
+            b.put_u32(origin.0);
+        }
+        Payload::GatherRotationInner {
+            origin,
+            b_link,
+            b_children,
+        } => {
+            b.put_u8(10);
+            b.put_u32(origin.0);
+            put_link(b, b_link);
+            put_link(b, &b_children.0);
+            put_link(b, &b_children.1);
+        }
+        Payload::RotationInfo {
+            b_link,
+            b_children,
+            e_children,
+        } => {
+            b.put_u8(11);
+            put_link(b, b_link);
+            put_link(b, &b_children.0);
+            put_link(b, &b_children.1);
+            put_link(b, &e_children.0);
+            put_link(b, &e_children.1);
+        }
+        Payload::SetRouting { node } => {
+            b.put_u8(12);
+            put_routing_node(b, node);
+        }
+        Payload::SetParent { target, parent } => {
+            b.put_u8(13);
+            put_node_ref(b, target);
+            b.put_u32(parent.0);
+        }
+        Payload::RefreshChild { child } => {
+            b.put_u8(14);
+            put_link(b, child);
+        }
+        Payload::ReplaceChild {
+            old_child,
+            new_child,
+        } => {
+            b.put_u8(15);
+            put_node_ref(b, old_child);
+            put_link(b, new_child);
+        }
+        Payload::UpdateOc {
+            target,
+            ancestor,
+            outer,
+            rect,
+        } => {
+            b.put_u8(16);
+            put_node_ref(b, target);
+            b.put_u32(ancestor.0);
+            put_link(b, outer);
+            put_rect(b, rect);
+        }
+        Payload::RefreshOc { target, table } => {
+            b.put_u8(17);
+            put_node_ref(b, target);
+            put_oc_table(b, table);
+        }
+        Payload::ShrinkChild { child } => {
+            b.put_u8(18);
+            put_link(b, child);
+        }
+        Payload::Query(q) => {
+            b.put_u8(19);
+            put_query_msg(b, q);
+        }
+        Payload::QueryReport {
+            qid,
+            results,
+            spawned,
+            trace,
+            direct,
+        } => {
+            b.put_u8(20);
+            b.put_u64(qid.0);
+            put_objects(b, results);
+            b.put_u32(*spawned);
+            put_trace(b, trace);
+            match direct {
+                Some(d) => {
+                    b.put_u8(1);
+                    b.put_u8(*d as u8);
+                }
+                None => b.put_u8(0),
+            }
+        }
+        Payload::QueryAggregate {
+            qid,
+            parent_branch,
+            results,
+            trace,
+        } => {
+            b.put_u8(21);
+            b.put_u64(qid.0);
+            b.put_u64(*parent_branch);
+            put_objects(b, results);
+            put_trace(b, trace);
+        }
+        Payload::Delete {
+            obj,
+            qid,
+            mode,
+            region,
+            visited,
+            target,
+            results_to,
+            iam_to,
+            trace,
+        } => {
+            b.put_u8(22);
+            put_object(b, obj);
+            b.put_u64(qid.0);
+            put_query_mode(b, mode);
+            put_rect(b, region);
+            put_visited(b, visited);
+            put_node_ref(b, target);
+            b.put_u32(results_to.0);
+            put_image_holder(b, iam_to);
+            put_trace(b, trace);
+        }
+        Payload::DeleteReport {
+            qid,
+            removed,
+            spawned,
+            trace,
+        } => {
+            b.put_u8(23);
+            b.put_u64(qid.0);
+            b.put_u8(*removed as u8);
+            b.put_u32(*spawned);
+            put_trace(b, trace);
+        }
+        Payload::Eliminate { child, objects } => {
+            b.put_u8(24);
+            put_node_ref(b, child);
+            put_objects(b, objects);
+        }
+        Payload::ClearParent { target } => {
+            b.put_u8(25);
+            put_node_ref(b, target);
+        }
+        Payload::DropOcAncestor { target, ancestor } => {
+            b.put_u8(26);
+            put_node_ref(b, target);
+            b.put_u32(ancestor.0);
+        }
+        Payload::KnnLocal {
+            p,
+            k,
+            qid,
+            results_to,
+        } => {
+            b.put_u8(27);
+            put_point(b, p);
+            b.put_u32(*k as u32);
+            b.put_u64(qid.0);
+            b.put_u32(results_to.0);
+        }
+        Payload::KnnLocalReply { qid, items, dr } => {
+            b.put_u8(28);
+            b.put_u64(qid.0);
+            b.put_u32(items.len() as u32);
+            for (o, d) in items {
+                put_object(b, o);
+                b.put_f64(*d);
+            }
+            put_opt_rect(b, dr);
+        }
+        Payload::Routed { op, results_to } => {
+            b.put_u8(29);
+            put_client_op(b, op);
+            b.put_u32(results_to.0);
+        }
+        Payload::JoinStart {
+            target,
+            qid,
+            results_to,
+            trace,
+        } => {
+            b.put_u8(30);
+            put_node_ref(b, target);
+            b.put_u64(qid.0);
+            b.put_u32(results_to.0);
+            put_trace(b, trace);
+        }
+        Payload::JoinProbe {
+            target,
+            objects,
+            region,
+            mode,
+            visited,
+            qid,
+            results_to,
+            trace,
+        } => {
+            b.put_u8(31);
+            put_node_ref(b, target);
+            put_objects(b, objects);
+            put_rect(b, region);
+            put_query_mode(b, mode);
+            put_visited(b, visited);
+            b.put_u64(qid.0);
+            b.put_u32(results_to.0);
+            put_trace(b, trace);
+        }
+        Payload::JoinReport {
+            qid,
+            pairs,
+            spawned,
+            trace,
+        } => {
+            b.put_u8(32);
+            b.put_u64(qid.0);
+            b.put_u32(pairs.len() as u32);
+            for (a, bb) in pairs {
+                b.put_u64(a.0);
+                b.put_u64(bb.0);
+            }
+            b.put_u32(*spawned);
+            put_trace(b, trace);
+        }
+    }
+}
+
+// ------------------------------------------------------------ decoding --
+
+/// Decodes one message body (the length prefix must already have been
+/// consumed by the framing layer).
+pub fn decode_message(buf: &mut Bytes) -> Result<Message> {
+    let from = get_endpoint(buf)?;
+    let to = get_endpoint(buf)?;
+    let payload = get_payload(buf)?;
+    Ok(Message { from, to, payload })
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<()> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8> {
+    need(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32> {
+    need(buf, 4)?;
+    Ok(buf.get_u32())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64> {
+    need(buf, 8)?;
+    Ok(buf.get_u64())
+}
+
+fn get_f64(buf: &mut Bytes) -> Result<f64> {
+    need(buf, 8)?;
+    Ok(buf.get_f64())
+}
+
+fn get_bool(buf: &mut Bytes) -> Result<bool> {
+    Ok(get_u8(buf)? != 0)
+}
+
+fn get_endpoint(buf: &mut Bytes) -> Result<Endpoint> {
+    match get_u8(buf)? {
+        0 => Ok(Endpoint::Client(ClientId(get_u32(buf)?))),
+        1 => Ok(Endpoint::Server(ServerId(get_u32(buf)?))),
+        t => Err(WireError::BadTag("endpoint", t)),
+    }
+}
+
+fn get_rect(buf: &mut Bytes) -> Result<Rect> {
+    Ok(Rect {
+        xmin: get_f64(buf)?,
+        ymin: get_f64(buf)?,
+        xmax: get_f64(buf)?,
+        ymax: get_f64(buf)?,
+    })
+}
+
+fn get_point(buf: &mut Bytes) -> Result<Point> {
+    Ok(Point::new(get_f64(buf)?, get_f64(buf)?))
+}
+
+fn get_node_ref(buf: &mut Bytes) -> Result<NodeRef> {
+    let server = ServerId(get_u32(buf)?);
+    let kind = match get_u8(buf)? {
+        0 => NodeKind::Data,
+        1 => NodeKind::Routing,
+        t => return Err(WireError::BadTag("node kind", t)),
+    };
+    Ok(NodeRef { server, kind })
+}
+
+fn get_link(buf: &mut Bytes) -> Result<Link> {
+    Ok(Link {
+        node: get_node_ref(buf)?,
+        dr: get_rect(buf)?,
+        height: get_u32(buf)?,
+    })
+}
+
+fn get_opt_rect(buf: &mut Bytes) -> Result<Option<Rect>> {
+    Ok(if get_bool(buf)? {
+        Some(get_rect(buf)?)
+    } else {
+        None
+    })
+}
+
+fn get_opt_u32(buf: &mut Bytes) -> Result<Option<u32>> {
+    Ok(if get_bool(buf)? {
+        Some(get_u32(buf)?)
+    } else {
+        None
+    })
+}
+
+fn get_object(buf: &mut Bytes) -> Result<Object> {
+    Ok(Object::new(Oid(get_u64(buf)?), get_rect(buf)?))
+}
+
+fn get_count(buf: &mut Bytes) -> Result<usize> {
+    let n = get_u32(buf)? as usize;
+    // Defensive bound: each element is at least one byte.
+    if n > buf.remaining() {
+        return Err(WireError::Truncated);
+    }
+    Ok(n)
+}
+
+fn get_objects(buf: &mut Bytes) -> Result<Vec<Object>> {
+    let n = get_count(buf)?;
+    (0..n).map(|_| get_object(buf)).collect()
+}
+
+fn get_trace(buf: &mut Bytes) -> Result<Vec<Link>> {
+    let n = get_count(buf)?;
+    (0..n).map(|_| get_link(buf)).collect()
+}
+
+fn get_oc_table(buf: &mut Bytes) -> Result<OcTable> {
+    let n = get_count(buf)?;
+    let entries = (0..n)
+        .map(|_| {
+            Ok(OcEntry {
+                ancestor: ServerId(get_u32(buf)?),
+                outer: get_link(buf)?,
+                rect: get_rect(buf)?,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(OcTable::from_entries(entries))
+}
+
+fn get_routing_node(buf: &mut Bytes) -> Result<RoutingNode> {
+    Ok(RoutingNode {
+        height: get_u32(buf)?,
+        dr: get_rect(buf)?,
+        left: get_link(buf)?,
+        right: get_link(buf)?,
+        parent: get_opt_u32(buf)?.map(ServerId),
+        oc: get_oc_table(buf)?,
+    })
+}
+
+fn get_image_holder(buf: &mut Bytes) -> Result<ImageHolder> {
+    match get_u8(buf)? {
+        0 => Ok(ImageHolder::Client(ClientId(get_u32(buf)?))),
+        1 => Ok(ImageHolder::Server(ServerId(get_u32(buf)?))),
+        2 => Ok(ImageHolder::Nobody),
+        t => Err(WireError::BadTag("image holder", t)),
+    }
+}
+
+fn get_query_kind(buf: &mut Bytes) -> Result<QueryKind> {
+    match get_u8(buf)? {
+        0 => Ok(QueryKind::Point(get_point(buf)?)),
+        1 => Ok(QueryKind::Window(get_rect(buf)?)),
+        t => Err(WireError::BadTag("query kind", t)),
+    }
+}
+
+fn get_query_mode(buf: &mut Bytes) -> Result<QueryMode> {
+    match get_u8(buf)? {
+        0 => Ok(QueryMode::Check),
+        1 => Ok(QueryMode::Ascend),
+        2 => Ok(QueryMode::Descend),
+        t => Err(WireError::BadTag("query mode", t)),
+    }
+}
+
+fn get_visited(buf: &mut Bytes) -> Result<Vec<NodeRef>> {
+    let n = get_count(buf)?;
+    (0..n).map(|_| get_node_ref(buf)).collect()
+}
+
+fn get_query_msg(buf: &mut Bytes) -> Result<QueryMsg> {
+    Ok(QueryMsg {
+        target: get_node_ref(buf)?,
+        query: get_query_kind(buf)?,
+        region: get_rect(buf)?,
+        mode: get_query_mode(buf)?,
+        qid: QueryId(get_u64(buf)?),
+        initial: get_bool(buf)?,
+        repaired: get_bool(buf)?,
+        iam_carrier: get_bool(buf)?,
+        visited: get_visited(buf)?,
+        results_to: ClientId(get_u32(buf)?),
+        iam_to: get_image_holder(buf)?,
+        protocol: match get_u8(buf)? {
+            0 => ReplyProtocol::Direct,
+            1 => ReplyProtocol::ReversePath,
+            2 => ReplyProtocol::Probabilistic,
+            t => return Err(WireError::BadTag("protocol", t)),
+        },
+        reply_via: get_opt_u32(buf)?.map(ServerId),
+        parent_branch: get_u64(buf)?,
+        trace: get_trace(buf)?,
+    })
+}
+
+fn get_client_op(buf: &mut Bytes) -> Result<ClientOp> {
+    match get_u8(buf)? {
+        0 => Ok(ClientOp::Insert(get_object(buf)?)),
+        1 => Ok(ClientOp::Point(get_point(buf)?, QueryId(get_u64(buf)?))),
+        2 => Ok(ClientOp::Window(get_rect(buf)?, QueryId(get_u64(buf)?))),
+        3 => Ok(ClientOp::Delete(get_object(buf)?, QueryId(get_u64(buf)?))),
+        t => Err(WireError::BadTag("client op", t)),
+    }
+}
+
+fn get_payload(buf: &mut Bytes) -> Result<Payload> {
+    let tag = get_u8(buf)?;
+    Ok(match tag {
+        0 => Payload::InsertAtLeaf {
+            obj: get_object(buf)?,
+            trace: get_trace(buf)?,
+            iam_to: get_image_holder(buf)?,
+            initial: get_bool(buf)?,
+        },
+        1 => Payload::InsertAscend {
+            obj: get_object(buf)?,
+            trace: get_trace(buf)?,
+            iam_to: get_image_holder(buf)?,
+            initial: get_bool(buf)?,
+        },
+        2 => Payload::InsertDescend {
+            obj: get_object(buf)?,
+            oc_acc: get_oc_table(buf)?,
+            new_dr: get_opt_rect(buf)?,
+            trace: get_trace(buf)?,
+            iam_to: get_image_holder(buf)?,
+        },
+        3 => Payload::StoreAtLeaf {
+            obj: get_object(buf)?,
+            new_dr: get_rect(buf)?,
+            oc: get_oc_table(buf)?,
+            trace: get_trace(buf)?,
+            iam_to: get_image_holder(buf)?,
+        },
+        4 => Payload::InsertAck {
+            oid: Oid(get_u64(buf)?),
+            trace: get_trace(buf)?,
+            direct: get_bool(buf)?,
+        },
+        5 => Payload::SplitCreate {
+            routing: get_routing_node(buf)?,
+            objects: get_objects(buf)?,
+            data_dr: get_rect(buf)?,
+            data_oc: get_oc_table(buf)?,
+        },
+        6 => Payload::ChildSplit {
+            old_child: get_node_ref(buf)?,
+            new_child: get_link(buf)?,
+            children: (get_link(buf)?, get_link(buf)?),
+        },
+        7 => Payload::AdjustHeight {
+            child: get_link(buf)?,
+            children: (get_link(buf)?, get_link(buf)?),
+            tall_grandchildren: if get_bool(buf)? {
+                Some((get_link(buf)?, get_link(buf)?))
+            } else {
+                None
+            },
+        },
+        8 => Payload::ChildRemoved {
+            old_child: get_node_ref(buf)?,
+            new_child: get_link(buf)?,
+        },
+        9 => Payload::GatherRotation {
+            origin: ServerId(get_u32(buf)?),
+        },
+        10 => Payload::GatherRotationInner {
+            origin: ServerId(get_u32(buf)?),
+            b_link: get_link(buf)?,
+            b_children: (get_link(buf)?, get_link(buf)?),
+        },
+        11 => Payload::RotationInfo {
+            b_link: get_link(buf)?,
+            b_children: (get_link(buf)?, get_link(buf)?),
+            e_children: (get_link(buf)?, get_link(buf)?),
+        },
+        12 => Payload::SetRouting {
+            node: get_routing_node(buf)?,
+        },
+        13 => Payload::SetParent {
+            target: get_node_ref(buf)?,
+            parent: ServerId(get_u32(buf)?),
+        },
+        14 => Payload::RefreshChild {
+            child: get_link(buf)?,
+        },
+        15 => Payload::ReplaceChild {
+            old_child: get_node_ref(buf)?,
+            new_child: get_link(buf)?,
+        },
+        16 => Payload::UpdateOc {
+            target: get_node_ref(buf)?,
+            ancestor: ServerId(get_u32(buf)?),
+            outer: get_link(buf)?,
+            rect: get_rect(buf)?,
+        },
+        17 => Payload::RefreshOc {
+            target: get_node_ref(buf)?,
+            table: get_oc_table(buf)?,
+        },
+        18 => Payload::ShrinkChild {
+            child: get_link(buf)?,
+        },
+        19 => Payload::Query(get_query_msg(buf)?),
+        20 => Payload::QueryReport {
+            qid: QueryId(get_u64(buf)?),
+            results: get_objects(buf)?,
+            spawned: get_u32(buf)?,
+            trace: get_trace(buf)?,
+            direct: if get_bool(buf)? {
+                Some(get_bool(buf)?)
+            } else {
+                None
+            },
+        },
+        21 => Payload::QueryAggregate {
+            qid: QueryId(get_u64(buf)?),
+            parent_branch: get_u64(buf)?,
+            results: get_objects(buf)?,
+            trace: get_trace(buf)?,
+        },
+        22 => Payload::Delete {
+            obj: get_object(buf)?,
+            qid: QueryId(get_u64(buf)?),
+            mode: get_query_mode(buf)?,
+            region: get_rect(buf)?,
+            visited: get_visited(buf)?,
+            target: get_node_ref(buf)?,
+            results_to: ClientId(get_u32(buf)?),
+            iam_to: get_image_holder(buf)?,
+            trace: get_trace(buf)?,
+        },
+        23 => Payload::DeleteReport {
+            qid: QueryId(get_u64(buf)?),
+            removed: get_bool(buf)?,
+            spawned: get_u32(buf)?,
+            trace: get_trace(buf)?,
+        },
+        24 => Payload::Eliminate {
+            child: get_node_ref(buf)?,
+            objects: get_objects(buf)?,
+        },
+        25 => Payload::ClearParent {
+            target: get_node_ref(buf)?,
+        },
+        26 => Payload::DropOcAncestor {
+            target: get_node_ref(buf)?,
+            ancestor: ServerId(get_u32(buf)?),
+        },
+        27 => Payload::KnnLocal {
+            p: get_point(buf)?,
+            k: get_u32(buf)? as usize,
+            qid: QueryId(get_u64(buf)?),
+            results_to: ClientId(get_u32(buf)?),
+        },
+        28 => Payload::KnnLocalReply {
+            qid: QueryId(get_u64(buf)?),
+            items: {
+                let n = get_count(buf)?;
+                (0..n)
+                    .map(|_| Ok((get_object(buf)?, get_f64(buf)?)))
+                    .collect::<Result<Vec<_>>>()?
+            },
+            dr: get_opt_rect(buf)?,
+        },
+        29 => Payload::Routed {
+            op: get_client_op(buf)?,
+            results_to: ClientId(get_u32(buf)?),
+        },
+        30 => Payload::JoinStart {
+            target: get_node_ref(buf)?,
+            qid: QueryId(get_u64(buf)?),
+            results_to: ClientId(get_u32(buf)?),
+            trace: get_trace(buf)?,
+        },
+        31 => Payload::JoinProbe {
+            target: get_node_ref(buf)?,
+            objects: get_objects(buf)?,
+            region: get_rect(buf)?,
+            mode: get_query_mode(buf)?,
+            visited: get_visited(buf)?,
+            qid: QueryId(get_u64(buf)?),
+            results_to: ClientId(get_u32(buf)?),
+            trace: get_trace(buf)?,
+        },
+        32 => Payload::JoinReport {
+            qid: QueryId(get_u64(buf)?),
+            pairs: {
+                let n = get_count(buf)?;
+                (0..n)
+                    .map(|_| Ok((Oid(get_u64(buf)?), Oid(get_u64(buf)?))))
+                    .collect::<Result<Vec<_>>>()?
+            },
+            spawned: get_u32(buf)?,
+            trace: get_trace(buf)?,
+        },
+        t => return Err(WireError::BadTag("payload", t)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let frame = encode_message(&msg);
+        let mut body = frame.slice(4..);
+        let decoded = decode_message(&mut body).expect("decode");
+        assert_eq!(decoded, msg);
+        assert_eq!(body.remaining(), 0, "trailing bytes after decode");
+    }
+
+    fn rect() -> Rect {
+        Rect::new(0.25, -1.5, 3.75, 2.0)
+    }
+
+    fn link(s: u32) -> Link {
+        Link::to_routing(ServerId(s), rect(), 3)
+    }
+
+    #[test]
+    fn roundtrip_insert_at_leaf() {
+        roundtrip(Message {
+            from: Endpoint::Client(ClientId(7)),
+            to: Endpoint::Server(ServerId(3)),
+            payload: Payload::InsertAtLeaf {
+                obj: Object::new(Oid(42), rect()),
+                trace: vec![link(1), Link::to_data(ServerId(2), rect())],
+                iam_to: ImageHolder::Client(ClientId(7)),
+                initial: true,
+            },
+        });
+    }
+
+    #[test]
+    fn roundtrip_split_create() {
+        let routing = RoutingNode {
+            height: 2,
+            dr: rect(),
+            left: link(1),
+            right: Link::to_data(ServerId(5), rect()),
+            parent: Some(ServerId(9)),
+            oc: OcTable::from_entries(vec![OcEntry {
+                ancestor: ServerId(1),
+                outer: link(4),
+                rect: rect(),
+            }]),
+        };
+        roundtrip(Message {
+            from: Endpoint::Server(ServerId(0)),
+            to: Endpoint::Server(ServerId(5)),
+            payload: Payload::SplitCreate {
+                routing,
+                objects: vec![Object::new(Oid(1), rect()), Object::new(Oid(2), rect())],
+                data_dr: rect(),
+                data_oc: OcTable::new(),
+            },
+        });
+    }
+
+    #[test]
+    fn roundtrip_query() {
+        roundtrip(Message {
+            from: Endpoint::Server(ServerId(2)),
+            to: Endpoint::Server(ServerId(8)),
+            payload: Payload::Query(QueryMsg {
+                target: NodeRef::routing(ServerId(8)),
+                query: QueryKind::Window(rect()),
+                region: rect(),
+                mode: QueryMode::Ascend,
+                qid: QueryId(0xDEAD_BEEF),
+                initial: false,
+                repaired: true,
+                iam_carrier: true,
+                visited: vec![NodeRef::data(ServerId(2)), NodeRef::routing(ServerId(4))],
+                results_to: ClientId(1),
+                iam_to: ImageHolder::Server(ServerId(2)),
+                protocol: ReplyProtocol::ReversePath,
+                reply_via: Some(ServerId(2)),
+                parent_branch: 77,
+                trace: vec![link(3)],
+            }),
+        });
+    }
+
+    #[test]
+    fn roundtrip_reports_and_knn() {
+        roundtrip(Message {
+            from: Endpoint::Server(ServerId(2)),
+            to: Endpoint::Client(ClientId(1)),
+            payload: Payload::QueryReport {
+                qid: QueryId(5),
+                results: vec![Object::new(Oid(3), rect())],
+                spawned: 4,
+                trace: vec![],
+                direct: Some(false),
+            },
+        });
+        roundtrip(Message {
+            from: Endpoint::Server(ServerId(2)),
+            to: Endpoint::Client(ClientId(1)),
+            payload: Payload::KnnLocalReply {
+                qid: QueryId(5),
+                items: vec![(Object::new(Oid(3), rect()), 1.25)],
+                dr: Some(rect()),
+            },
+        });
+    }
+
+    #[test]
+    fn roundtrip_every_structural_message() {
+        let payloads = vec![
+            Payload::ChildSplit {
+                old_child: NodeRef::data(ServerId(1)),
+                new_child: link(2),
+                children: (link(3), link(4)),
+            },
+            Payload::AdjustHeight {
+                child: link(1),
+                children: (link(2), link(3)),
+                tall_grandchildren: Some((link(4), link(5))),
+            },
+            Payload::AdjustHeight {
+                child: link(1),
+                children: (link(2), link(3)),
+                tall_grandchildren: None,
+            },
+            Payload::ChildRemoved {
+                old_child: NodeRef::routing(ServerId(1)),
+                new_child: link(2),
+            },
+            Payload::GatherRotation {
+                origin: ServerId(4),
+            },
+            Payload::GatherRotationInner {
+                origin: ServerId(4),
+                b_link: link(1),
+                b_children: (link(2), link(3)),
+            },
+            Payload::RotationInfo {
+                b_link: link(1),
+                b_children: (link(2), link(3)),
+                e_children: (link(4), link(5)),
+            },
+            Payload::SetParent {
+                target: NodeRef::data(ServerId(3)),
+                parent: ServerId(9),
+            },
+            Payload::RefreshChild { child: link(1) },
+            Payload::ReplaceChild {
+                old_child: NodeRef::routing(ServerId(2)),
+                new_child: link(3),
+            },
+            Payload::UpdateOc {
+                target: NodeRef::data(ServerId(1)),
+                ancestor: ServerId(2),
+                outer: link(3),
+                rect: rect(),
+            },
+            Payload::RefreshOc {
+                target: NodeRef::routing(ServerId(1)),
+                table: OcTable::new(),
+            },
+            Payload::ShrinkChild { child: link(1) },
+            Payload::Eliminate {
+                child: NodeRef::data(ServerId(1)),
+                objects: vec![Object::new(Oid(8), rect())],
+            },
+            Payload::ClearParent {
+                target: NodeRef::data(ServerId(1)),
+            },
+            Payload::DropOcAncestor {
+                target: NodeRef::routing(ServerId(1)),
+                ancestor: ServerId(2),
+            },
+            Payload::KnnLocal {
+                p: Point::new(0.5, 0.5),
+                k: 3,
+                qid: QueryId(9),
+                results_to: ClientId(0),
+            },
+            Payload::Routed {
+                op: ClientOp::Window(rect(), QueryId(3)),
+                results_to: ClientId(5),
+            },
+            Payload::InsertAck {
+                oid: Oid(11),
+                trace: vec![link(1)],
+                direct: true,
+            },
+            Payload::JoinStart {
+                target: NodeRef::routing(ServerId(0)),
+                qid: QueryId(4),
+                results_to: ClientId(1),
+                trace: vec![link(2)],
+            },
+            Payload::JoinProbe {
+                target: NodeRef::data(ServerId(3)),
+                objects: vec![Object::new(Oid(9), rect())],
+                region: rect(),
+                mode: QueryMode::Check,
+                visited: vec![NodeRef::data(ServerId(1))],
+                qid: QueryId(4),
+                results_to: ClientId(1),
+                trace: vec![],
+            },
+            Payload::JoinReport {
+                qid: QueryId(4),
+                pairs: vec![(Oid(1), Oid(2)), (Oid(3), Oid(9))],
+                spawned: 2,
+                trace: vec![],
+            },
+            Payload::DeleteReport {
+                qid: QueryId(2),
+                removed: true,
+                spawned: 0,
+                trace: vec![],
+            },
+            Payload::QueryAggregate {
+                qid: QueryId(2),
+                parent_branch: 3,
+                results: vec![],
+                trace: vec![],
+            },
+        ];
+        for p in payloads {
+            roundtrip(Message {
+                from: Endpoint::Server(ServerId(0)),
+                to: Endpoint::Server(ServerId(1)),
+                payload: p,
+            });
+        }
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let msg = Message {
+            from: Endpoint::Client(ClientId(0)),
+            to: Endpoint::Server(ServerId(0)),
+            payload: Payload::GatherRotation {
+                origin: ServerId(1),
+            },
+        };
+        let frame = encode_message(&msg);
+        for cut in 4..frame.len() - 1 {
+            let mut body = frame.slice(4..cut);
+            assert!(
+                decode_message(&mut body).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_errors() {
+        let mut body = Bytes::from_static(&[9, 0, 0, 0, 0]);
+        assert!(matches!(
+            decode_message(&mut body),
+            Err(WireError::BadTag("endpoint", 9))
+        ));
+    }
+}

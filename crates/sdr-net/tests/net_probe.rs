@@ -1,0 +1,44 @@
+//! Storage-completeness stress: rapid-fire inserts (no pacing) must all
+//! land, every object must be reachable through both full-space window
+//! scans and individual point queries.
+
+use sdr_core::{Object, Oid, SdrConfig};
+use sdr_geom::{Point, Rect};
+use sdr_net::{NetClient, NetCluster};
+
+#[test]
+fn rapid_fire_inserts_lose_nothing() {
+    let cluster = NetCluster::launch(SdrConfig::with_capacity(25)).unwrap();
+    let mut client = NetClient::connect(&cluster).unwrap();
+    for i in 0..100u64 {
+        let x = (i % 10) as f64 / 10.0;
+        let y = (i / 10) as f64 / 10.0;
+        client
+            .insert(Object::new(Oid(i), Rect::new(x, y, x + 0.05, y + 0.05)))
+            .unwrap();
+    }
+    client.quiesce().unwrap();
+    assert!(
+        cluster.num_servers() >= 4,
+        "expected splits, got {}",
+        cluster.num_servers()
+    );
+
+    // Full-space scan sees every object exactly once.
+    let all = client
+        .window_query(Rect::new(-1.0, -1.0, 2.0, 2.0))
+        .unwrap();
+    assert_eq!(all.len(), 100, "full-space window lost objects");
+
+    // Every object individually reachable.
+    for i in 0..100u64 {
+        let x = (i % 10) as f64 / 10.0 + 0.025;
+        let y = (i / 10) as f64 / 10.0 + 0.025;
+        let hits = client.point_query(Point::new(x, y)).unwrap();
+        assert!(
+            hits.iter().any(|o| o.oid == Oid(i)),
+            "object {i} unreachable"
+        );
+    }
+    cluster.shutdown();
+}

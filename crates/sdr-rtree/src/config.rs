@@ -1,0 +1,136 @@
+/// Node-split algorithm used when a node overflows.
+///
+/// All three are implemented from their original descriptions; the
+/// SD-Rtree paper uses the Guttman split for data-node division (§2.2
+/// cites Guttman \[6\] and Garcia et al. \[5\]) and mentions R\*-style
+/// splitting as future work (§7), which we also provide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SplitPolicy {
+    /// Guttman's linear-cost split: pick the two seeds with the greatest
+    /// normalized separation along any axis, then assign the remaining
+    /// entries greedily by least enlargement.
+    Linear,
+    /// Guttman's quadratic-cost split: pick the seed pair wasting the most
+    /// area if grouped together, then repeatedly assign the entry with the
+    /// strongest preference for one group. The classical default.
+    #[default]
+    Quadratic,
+    /// The R\*-tree topological split: choose the split axis by minimal
+    /// total margin over all distributions, then the distribution with
+    /// minimal overlap (ties by minimal total area).
+    RStar,
+}
+
+/// Structural parameters of an [`crate::RTree`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RTreeConfig {
+    /// Maximum number of entries per node (`M`). Must be ≥ 2.
+    pub max_entries: usize,
+    /// Minimum number of entries per non-root node (`m`).
+    /// Must satisfy `1 <= m <= M / 2`.
+    pub min_entries: usize,
+    /// Which split algorithm to run on overflow.
+    pub split: SplitPolicy,
+    /// R\*-tree forced reinsertion: on the first leaf overflow of an
+    /// insertion, evict the ~30 % of entries farthest from the node
+    /// center and re-insert them instead of splitting. Improves the
+    /// spatial clustering at the cost of extra work per overflow
+    /// (Beckmann et al.; the SD-Rtree paper compares its rotation to
+    /// this "forced reinsertion strategy of the R*tree", §2.4).
+    pub reinsert: bool,
+}
+
+impl Default for RTreeConfig {
+    /// `M = 32`, `m = 12` (≈ 40 % of `M`, the R\*-tree recommendation),
+    /// quadratic split.
+    fn default() -> Self {
+        RTreeConfig {
+            max_entries: 32,
+            min_entries: 12,
+            split: SplitPolicy::Quadratic,
+            reinsert: false,
+        }
+    }
+}
+
+impl RTreeConfig {
+    /// Creates a configuration with `m = max(1, 40 % of M)` and the given
+    /// split policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_entries < 2`.
+    pub fn with_max(max_entries: usize, split: SplitPolicy) -> Self {
+        assert!(
+            max_entries >= 2,
+            "an R-tree node must hold at least 2 entries"
+        );
+        let min_entries = ((max_entries * 2) / 5).max(1);
+        RTreeConfig {
+            max_entries,
+            min_entries,
+            split,
+            reinsert: false,
+        }
+    }
+
+    /// Enables R\*-style forced reinsertion on leaf overflow.
+    pub fn with_reinsertion(mut self) -> Self {
+        self.reinsert = true;
+        self
+    }
+
+    /// Validates the `m <= M/2` relationship required by the split
+    /// algorithms (both halves of a split must reach `m`).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated constraint.
+    pub fn validate(&self) {
+        assert!(self.max_entries >= 2, "max_entries must be >= 2");
+        assert!(
+            self.min_entries >= 1 && self.min_entries <= self.max_entries / 2,
+            "min_entries must satisfy 1 <= m <= M/2 (got m={}, M={})",
+            self.min_entries,
+            self.max_entries
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        RTreeConfig::default().validate();
+    }
+
+    #[test]
+    fn with_max_computes_min() {
+        let c = RTreeConfig::with_max(10, SplitPolicy::Linear);
+        assert_eq!(c.min_entries, 4);
+        c.validate();
+        let c2 = RTreeConfig::with_max(2, SplitPolicy::RStar);
+        assert_eq!(c2.min_entries, 1);
+        c2.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn with_max_rejects_tiny() {
+        RTreeConfig::with_max(1, SplitPolicy::Quadratic);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_entries")]
+    fn validate_rejects_large_min() {
+        RTreeConfig {
+            max_entries: 4,
+            min_entries: 3,
+            split: SplitPolicy::Quadratic,
+            reinsert: false,
+        }
+        .validate();
+    }
+}

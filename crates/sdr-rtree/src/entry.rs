@@ -1,0 +1,20 @@
+use sdr_geom::Rect;
+
+/// A leaf entry: an indexed object's minimal bounding box plus its payload
+/// (typically an object id in the SD-Rtree, where the object body lives in
+/// the application).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry<T> {
+    /// Minimal bounding box of the object.
+    pub rect: Rect,
+    /// The payload.
+    pub item: T,
+}
+
+impl<T> Entry<T> {
+    /// Creates an entry.
+    #[inline]
+    pub fn new(rect: Rect, item: T) -> Self {
+        Entry { rect, item }
+    }
+}

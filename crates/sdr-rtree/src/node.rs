@@ -1,0 +1,49 @@
+use crate::entry::Entry;
+use sdr_geom::Rect;
+
+/// A child pointer inside an internal node: the subtree's bounding box
+/// plus the boxed subtree.
+#[derive(Clone, Debug)]
+pub(crate) struct Child<T> {
+    pub rect: Rect,
+    pub node: Box<Node<T>>,
+}
+
+/// An R-tree node: either a leaf holding object entries or an internal
+/// node holding child subtrees.
+#[derive(Clone, Debug)]
+pub(crate) enum Node<T> {
+    Leaf(Vec<Entry<T>>),
+    Internal(Vec<Child<T>>),
+}
+
+impl<T> Node<T> {
+    pub(crate) fn new_leaf() -> Self {
+        Node::Leaf(Vec::new())
+    }
+
+    /// Number of entries/children directly in this node.
+    pub(crate) fn fanout(&self) -> usize {
+        match self {
+            Node::Leaf(es) => es.len(),
+            Node::Internal(cs) => cs.len(),
+        }
+    }
+
+    /// Recomputed minimal bounding box of this node's contents.
+    pub(crate) fn mbb(&self) -> Option<Rect> {
+        match self {
+            Node::Leaf(es) => Rect::mbb(es.iter().map(|e| &e.rect)),
+            Node::Internal(cs) => Rect::mbb(cs.iter().map(|c| &c.rect)),
+        }
+    }
+
+    /// Height of the subtree rooted here: leaves have height 0.
+    /// Used only by tests and stats (O(depth)).
+    pub(crate) fn height(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 0,
+            Node::Internal(cs) => 1 + cs.first().map_or(0, |c| c.node.height()),
+        }
+    }
+}

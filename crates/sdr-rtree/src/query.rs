@@ -1,0 +1,279 @@
+//! Search operations: window, point, k-nearest-neighbour, and distance
+//! queries over a local [`RTree`].
+
+use crate::entry::Entry;
+use crate::node::Node;
+use crate::tree::RTree;
+use sdr_geom::{Point, Rect};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+impl<T> RTree<T> {
+    /// Returns every entry whose rectangle intersects `window`
+    /// (border contact counts, matching the SD-Rtree forwarding rules).
+    pub fn search_window(&self, window: &Rect) -> Vec<&Entry<T>> {
+        let mut out = Vec::new();
+        let mut stack: Vec<&Node<T>> = vec![&self.root];
+        while let Some(node) = stack.pop() {
+            match node {
+                Node::Leaf(es) => {
+                    out.extend(es.iter().filter(|e| e.rect.intersects(window)));
+                }
+                Node::Internal(cs) => {
+                    stack.extend(
+                        cs.iter()
+                            .filter(|c| c.rect.intersects(window))
+                            .map(|c| &*c.node),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns every entry whose rectangle contains the point.
+    pub fn search_point(&self, p: &Point) -> Vec<&Entry<T>> {
+        let mut out = Vec::new();
+        let mut stack: Vec<&Node<T>> = vec![&self.root];
+        while let Some(node) = stack.pop() {
+            match node {
+                Node::Leaf(es) => {
+                    out.extend(es.iter().filter(|e| e.rect.contains_point(p)));
+                }
+                Node::Internal(cs) => {
+                    stack.extend(
+                        cs.iter()
+                            .filter(|c| c.rect.contains_point(p))
+                            .map(|c| &*c.node),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns every entry within Euclidean distance `dist` of point `p`
+    /// (measured to the entry's rectangle; entries containing `p` are at
+    /// distance 0).
+    pub fn search_within(&self, p: &Point, dist: f64) -> Vec<&Entry<T>> {
+        let d2 = dist * dist;
+        let mut out = Vec::new();
+        let mut stack: Vec<&Node<T>> = vec![&self.root];
+        while let Some(node) = stack.pop() {
+            match node {
+                Node::Leaf(es) => {
+                    out.extend(es.iter().filter(|e| e.rect.min_dist2(p) <= d2));
+                }
+                Node::Internal(cs) => {
+                    stack.extend(
+                        cs.iter()
+                            .filter(|c| c.rect.min_dist2(p) <= d2)
+                            .map(|c| &*c.node),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Best-first k-nearest-neighbour search (Hjaltason & Samet style):
+    /// returns up to `k` entries ordered by increasing distance from `p`,
+    /// together with that distance.
+    pub fn nearest(&self, p: Point, k: usize) -> Vec<(&Entry<T>, f64)> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        // Min-heap over (distance², tie-break counter, heap item).
+        let mut heap: BinaryHeap<HeapItem<'_, T>> = BinaryHeap::new();
+        let mut counter = 0u64;
+        heap.push(HeapItem {
+            d2: 0.0,
+            seq: 0,
+            kind: HeapKind::Node(&self.root),
+        });
+        let mut out = Vec::with_capacity(k);
+        while let Some(HeapItem { d2, kind, .. }) = heap.pop() {
+            match kind {
+                HeapKind::Node(Node::Leaf(es)) => {
+                    for e in es {
+                        counter += 1;
+                        heap.push(HeapItem {
+                            d2: e.rect.min_dist2(&p),
+                            seq: counter,
+                            kind: HeapKind::Entry(e),
+                        });
+                    }
+                }
+                HeapKind::Node(Node::Internal(cs)) => {
+                    for c in cs {
+                        counter += 1;
+                        heap.push(HeapItem {
+                            d2: c.rect.min_dist2(&p),
+                            seq: counter,
+                            kind: HeapKind::Node(&c.node),
+                        });
+                    }
+                }
+                HeapKind::Entry(e) => {
+                    out.push((e, d2.sqrt()));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+enum HeapKind<'a, T> {
+    Node(&'a Node<T>),
+    Entry(&'a Entry<T>),
+}
+
+struct HeapItem<'a, T> {
+    d2: f64,
+    seq: u64,
+    kind: HeapKind<'a, T>,
+}
+
+impl<T> PartialEq for HeapItem<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.d2 == other.d2 && self.seq == other.seq
+    }
+}
+impl<T> Eq for HeapItem<'_, T> {}
+impl<T> PartialOrd for HeapItem<'_, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapItem<'_, T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest d2 first.
+        other
+            .d2
+            .partial_cmp(&self.d2)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RTreeConfig, SplitPolicy};
+
+    fn tree() -> RTree<usize> {
+        let mut t = RTree::new(RTreeConfig::with_max(6, SplitPolicy::Quadratic));
+        for i in 0..400usize {
+            let x = (i % 20) as f64;
+            let y = (i / 20) as f64;
+            t.insert(Rect::new(x, y, x + 0.6, y + 0.6), i);
+        }
+        t
+    }
+
+    #[test]
+    fn window_query_matches_scan() {
+        let t = tree();
+        let w = Rect::new(3.2, 4.1, 8.9, 6.3);
+        let mut got: Vec<usize> = t.search_window(&w).iter().map(|e| e.item).collect();
+        let mut want: Vec<usize> = t
+            .iter()
+            .filter(|e| e.rect.intersects(&w))
+            .map(|e| e.item)
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn point_query_on_overlap_free_grid() {
+        let t = tree();
+        let hits = t.search_point(&Point::new(5.3, 7.3));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].item, 7 * 20 + 5);
+    }
+
+    #[test]
+    fn point_query_outside_space() {
+        let t = tree();
+        assert!(t.search_point(&Point::new(-5.0, -5.0)).is_empty());
+    }
+
+    #[test]
+    fn window_covering_all_returns_all() {
+        let t = tree();
+        assert_eq!(
+            t.search_window(&Rect::new(-1.0, -1.0, 100.0, 100.0)).len(),
+            400
+        );
+    }
+
+    #[test]
+    fn nearest_orders_by_distance() {
+        let t = tree();
+        let p = Point::new(10.0, 10.0);
+        let nn = t.nearest(p, 10);
+        assert_eq!(nn.len(), 10);
+        for pair in nn.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        // The nearest entry should contain or touch the query point area.
+        assert!(nn[0].1 <= 0.5);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let t = tree();
+        let p = Point::new(3.7, 12.2);
+        let got: Vec<usize> = t.nearest(p, 5).iter().map(|(e, _)| e.item).collect();
+        let mut all: Vec<(f64, usize)> = t.iter().map(|e| (e.rect.min_dist2(&p), e.item)).collect();
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let want: Vec<usize> = all.iter().take(5).map(|(_, i)| *i).collect();
+        // Distances may tie; compare distance sequences instead of ids.
+        let got_d: Vec<f64> = t.nearest(p, 5).iter().map(|(_, d)| *d).collect();
+        let want_d: Vec<f64> = all.iter().take(5).map(|(d, _)| d.sqrt()).collect();
+        for (g, w) in got_d.iter().zip(&want_d) {
+            assert!((g - w).abs() < 1e-9);
+        }
+        assert_eq!(got.len(), want.len());
+    }
+
+    #[test]
+    fn nearest_k_larger_than_len() {
+        let mut t: RTree<u8> = RTree::new(RTreeConfig::default());
+        t.insert(Rect::new(0.0, 0.0, 1.0, 1.0), 1);
+        t.insert(Rect::new(5.0, 5.0, 6.0, 6.0), 2);
+        let nn = t.nearest(Point::new(0.0, 0.0), 10);
+        assert_eq!(nn.len(), 2);
+        assert_eq!(nn[0].0.item, 1);
+    }
+
+    #[test]
+    fn nearest_zero_k_and_empty_tree() {
+        let t = tree();
+        assert!(t.nearest(Point::new(0.0, 0.0), 0).is_empty());
+        let empty: RTree<u8> = RTree::new(RTreeConfig::default());
+        assert!(empty.nearest(Point::new(0.0, 0.0), 3).is_empty());
+    }
+
+    #[test]
+    fn within_matches_scan() {
+        let t = tree();
+        let p = Point::new(9.5, 9.5);
+        let mut got: Vec<usize> = t.search_within(&p, 2.0).iter().map(|e| e.item).collect();
+        let mut want: Vec<usize> = t
+            .iter()
+            .filter(|e| e.rect.min_dist2(&p) <= 4.0)
+            .map(|e| e.item)
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+    }
+}

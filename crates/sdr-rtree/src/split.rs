@@ -1,0 +1,427 @@
+//! Node split algorithms: Guttman Linear, Guttman Quadratic, and the
+//! R\*-tree topological split.
+//!
+//! All three operate on any collection of rectangle-bearing items so the
+//! same code splits leaf entries, internal children, and — in `sdr-core` —
+//! a whole SD-Rtree data node's object set when a server overflows
+//! (paper §2.2: "the data stored on S is divided in two approximately
+//! equal subsets using a split algorithm similar to that of the classical
+//! Rtree").
+
+use crate::config::{RTreeConfig, SplitPolicy};
+use crate::entry::Entry;
+use crate::node::Child;
+use sdr_geom::Rect;
+
+/// Anything that carries a bounding rectangle and can therefore be
+/// distributed by a split algorithm.
+pub(crate) trait HasRect {
+    fn rect(&self) -> &Rect;
+}
+
+impl<T> HasRect for Entry<T> {
+    #[inline]
+    fn rect(&self) -> &Rect {
+        &self.rect
+    }
+}
+
+impl<T> HasRect for Child<T> {
+    #[inline]
+    fn rect(&self) -> &Rect {
+        &self.rect
+    }
+}
+
+impl HasRect for Rect {
+    #[inline]
+    fn rect(&self) -> &Rect {
+        self
+    }
+}
+
+/// Divides a set of entries into two balanced groups using the configured
+/// split policy — the primitive the SD-Rtree server split builds on
+/// (paper §2.2: an overloaded server's data "is divided in two
+/// approximately equal subsets using a split algorithm similar to that of
+/// the classical Rtree"). `min_entries` of the config bounds the smaller
+/// group where possible.
+///
+/// # Panics
+///
+/// Panics if `entries.len() < 2`.
+pub fn partition<T>(
+    entries: Vec<Entry<T>>,
+    config: &RTreeConfig,
+) -> (Vec<Entry<T>>, Vec<Entry<T>>) {
+    assert!(
+        entries.len() >= 2,
+        "cannot partition fewer than two entries"
+    );
+    split(entries, config)
+}
+
+/// Splits `items` (which overflowed: `items.len() == M + 1` in tree usage,
+/// but any length ≥ 2 is accepted) into two groups according to the
+/// configured policy. Both groups are guaranteed non-empty and, when
+/// possible, hold at least `config.min_entries` items.
+pub(crate) fn split<S: HasRect>(items: Vec<S>, config: &RTreeConfig) -> (Vec<S>, Vec<S>) {
+    debug_assert!(items.len() >= 2, "cannot split fewer than two items");
+    match config.split {
+        SplitPolicy::Linear => guttman_split(items, config, linear_pick_seeds),
+        SplitPolicy::Quadratic => guttman_split(items, config, quadratic_pick_seeds),
+        SplitPolicy::RStar => rstar_split(items, config),
+    }
+}
+
+/// Guttman's LinearPickSeeds: for each axis find the entry with the
+/// highest low side and the entry with the lowest high side; normalize the
+/// separation by the axis extent; pick the pair with the greatest
+/// normalized separation.
+fn linear_pick_seeds<S: HasRect>(items: &[S]) -> (usize, usize) {
+    let mut best_sep = f64::NEG_INFINITY;
+    let mut best = (0, 1);
+    for axis in 0..2 {
+        let (lo, hi, side_lo, side_hi) = axis_extremes(items, axis);
+        let extent = hi - lo;
+        let sep = if extent > 0.0 {
+            (side_lo.1 - side_hi.1) / extent
+        } else {
+            0.0
+        };
+        if sep > best_sep && side_lo.0 != side_hi.0 {
+            best_sep = sep;
+            best = (side_hi.0, side_lo.0);
+        }
+    }
+    if best.0 == best.1 {
+        // All rectangles identical along both axes: fall back to the first
+        // two items (any partition is equally good).
+        best = (0, 1);
+    }
+    best
+}
+
+/// For `axis` (0 = x, 1 = y) returns:
+/// (global min low side, global max high side,
+///  (index, value) of the highest low side,
+///  (index, value) of the lowest high side).
+fn axis_extremes<S: HasRect>(items: &[S], axis: usize) -> (f64, f64, (usize, f64), (usize, f64)) {
+    let get = |r: &Rect| -> (f64, f64) {
+        if axis == 0 {
+            (r.xmin, r.xmax)
+        } else {
+            (r.ymin, r.ymax)
+        }
+    };
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut highest_low = (0usize, f64::NEG_INFINITY);
+    let mut lowest_high = (0usize, f64::INFINITY);
+    for (i, it) in items.iter().enumerate() {
+        let (l, h) = get(it.rect());
+        lo = lo.min(l);
+        hi = hi.max(h);
+        if l > highest_low.1 {
+            highest_low = (i, l);
+        }
+        if h < lowest_high.1 {
+            lowest_high = (i, h);
+        }
+    }
+    (lo, hi, highest_low, lowest_high)
+}
+
+/// Guttman's QuadraticPickSeeds: choose the pair that would waste the most
+/// area if grouped together.
+fn quadratic_pick_seeds<S: HasRect>(items: &[S]) -> (usize, usize) {
+    let mut worst = f64::NEG_INFINITY;
+    let mut best = (0, 1);
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            let a = items[i].rect();
+            let b = items[j].rect();
+            let waste = a.union(b).area() - a.area() - b.area();
+            if waste > worst {
+                worst = waste;
+                best = (i, j);
+            }
+        }
+    }
+    best
+}
+
+/// The shared Guttman distribution loop, parameterized by the seed picker.
+fn guttman_split<S: HasRect>(
+    mut items: Vec<S>,
+    config: &RTreeConfig,
+    pick_seeds: fn(&[S]) -> (usize, usize),
+) -> (Vec<S>, Vec<S>) {
+    let m = config.min_entries;
+    let (s1, s2) = pick_seeds(&items);
+    // Remove the later index first so the earlier one stays valid.
+    let (hi, lo) = if s1 > s2 { (s1, s2) } else { (s2, s1) };
+    let seed_b = items.swap_remove(hi);
+    let seed_a = items.swap_remove(lo);
+
+    let mut ra = *seed_a.rect();
+    let mut rb = *seed_b.rect();
+    let mut group_a = vec![seed_a];
+    let mut group_b = vec![seed_b];
+
+    while let Some(remaining) = {
+        let n = items.len();
+        (n > 0).then_some(n)
+    } {
+        // If one group must absorb everything left to reach `m`, do so.
+        if group_a.len() + remaining == m {
+            group_a.append(&mut items);
+            break;
+        }
+        if group_b.len() + remaining == m {
+            group_b.append(&mut items);
+            break;
+        }
+        // PickNext: the entry with the maximal preference difference.
+        let mut best_idx = 0;
+        let mut best_diff = f64::NEG_INFINITY;
+        for (i, it) in items.iter().enumerate() {
+            let da = ra.enlargement(it.rect());
+            let db = rb.enlargement(it.rect());
+            let diff = (da - db).abs();
+            if diff > best_diff {
+                best_diff = diff;
+                best_idx = i;
+            }
+        }
+        let it = items.swap_remove(best_idx);
+        let da = ra.enlargement(it.rect());
+        let db = rb.enlargement(it.rect());
+        // Resolve ties by smaller area, then smaller group.
+        let to_a = match da.partial_cmp(&db) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            _ => match ra.area().partial_cmp(&rb.area()) {
+                Some(std::cmp::Ordering::Less) => true,
+                Some(std::cmp::Ordering::Greater) => false,
+                _ => group_a.len() <= group_b.len(),
+            },
+        };
+        if to_a {
+            ra.enlarge(it.rect());
+            group_a.push(it);
+        } else {
+            rb.enlarge(it.rect());
+            group_b.push(it);
+        }
+    }
+    (group_a, group_b)
+}
+
+/// The R\*-tree split: choose axis by minimal margin sum over all valid
+/// distributions (sorting by both the lower and upper rectangle bounds),
+/// then the distribution with minimal overlap area, ties broken by total
+/// area.
+fn rstar_split<S: HasRect>(mut items: Vec<S>, config: &RTreeConfig) -> (Vec<S>, Vec<S>) {
+    let total = items.len();
+    let m = config.min_entries.min(total / 2).max(1);
+
+    // For each axis and sort key, the candidate split positions are
+    // k in [m, total - m].
+    #[derive(Clone, Copy)]
+    struct Candidate {
+        k: usize,
+        overlap: f64,
+        area: f64,
+    }
+
+    let mut best_axis: Option<(usize, bool)> = None;
+    let mut best_margin = f64::INFINITY;
+    let mut best_candidate: Option<Candidate> = None;
+
+    for axis in 0..2usize {
+        for by_upper in [false, true] {
+            sort_items(&mut items, axis, by_upper);
+            let mut margin_sum = 0.0;
+            let mut local_best: Option<Candidate> = None;
+            for k in m..=(total - m) {
+                let left = Rect::mbb(items[..k].iter().map(|i| i.rect())).expect("non-empty");
+                let right = Rect::mbb(items[k..].iter().map(|i| i.rect())).expect("non-empty");
+                margin_sum += left.margin() + right.margin();
+                let cand = Candidate {
+                    k,
+                    overlap: left.overlap_area(&right),
+                    area: left.area() + right.area(),
+                };
+                let better = match &local_best {
+                    None => true,
+                    Some(b) => {
+                        cand.overlap < b.overlap
+                            || (cand.overlap == b.overlap && cand.area < b.area)
+                    }
+                };
+                if better {
+                    local_best = Some(cand);
+                }
+            }
+            if margin_sum < best_margin {
+                best_margin = margin_sum;
+                best_axis = Some((axis, by_upper));
+                best_candidate = local_best;
+            }
+        }
+    }
+
+    let (axis, by_upper) = best_axis.expect("at least one axis candidate");
+    let cand = best_candidate.expect("at least one distribution");
+    sort_items(&mut items, axis, by_upper);
+    let right = items.split_off(cand.k);
+    (items, right)
+}
+
+fn sort_items<S: HasRect>(items: &mut [S], axis: usize, by_upper: bool) {
+    items.sort_by(|a, b| {
+        let (ka, kb) = match (axis, by_upper) {
+            (0, false) => (a.rect().xmin, b.rect().xmin),
+            (0, true) => (a.rect().xmax, b.rect().xmax),
+            (1, false) => (a.rect().ymin, b.rect().ymin),
+            _ => (a.rect().ymax, b.rect().ymax),
+        };
+        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rects(n: usize) -> Vec<Rect> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f64;
+                let y = (i / 10) as f64;
+                Rect::new(x, y, x + 0.8, y + 0.8)
+            })
+            .collect()
+    }
+
+    fn check_split(policy: SplitPolicy, n: usize) {
+        let config = RTreeConfig {
+            max_entries: n - 1,
+            min_entries: (n - 1) / 3,
+            split: policy,
+            reinsert: false,
+        };
+        let items = rects(n);
+        let (a, b) = split(items, &config);
+        assert_eq!(a.len() + b.len(), n);
+        assert!(!a.is_empty() && !b.is_empty());
+        assert!(
+            a.len() >= config.min_entries && b.len() >= config.min_entries,
+            "{policy:?}: groups {}/{} below m={}",
+            a.len(),
+            b.len(),
+            config.min_entries
+        );
+    }
+
+    #[test]
+    fn all_policies_respect_min_fill() {
+        for policy in [
+            SplitPolicy::Linear,
+            SplitPolicy::Quadratic,
+            SplitPolicy::RStar,
+        ] {
+            for n in [4, 7, 9, 33, 100] {
+                check_split(policy, n);
+            }
+        }
+    }
+
+    #[test]
+    fn split_of_two_items() {
+        for policy in [
+            SplitPolicy::Linear,
+            SplitPolicy::Quadratic,
+            SplitPolicy::RStar,
+        ] {
+            let config = RTreeConfig {
+                max_entries: 2,
+                min_entries: 1,
+                split: policy,
+                reinsert: false,
+            };
+            let (a, b) = split(rects(2), &config);
+            assert_eq!(a.len(), 1);
+            assert_eq!(b.len(), 1);
+        }
+    }
+
+    #[test]
+    fn identical_rects_still_split() {
+        for policy in [
+            SplitPolicy::Linear,
+            SplitPolicy::Quadratic,
+            SplitPolicy::RStar,
+        ] {
+            let config = RTreeConfig {
+                max_entries: 4,
+                min_entries: 2,
+                split: policy,
+                reinsert: false,
+            };
+            let items = vec![Rect::new(0.0, 0.0, 1.0, 1.0); 5];
+            let (a, b) = split(items, &config);
+            assert_eq!(a.len() + b.len(), 5);
+            assert!(a.len() >= 2 && b.len() >= 2, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn separated_clusters_are_not_mixed() {
+        // Two well-separated clusters of 5; every policy should cut
+        // between them.
+        let mut items: Vec<Rect> = (0..5)
+            .map(|i| Rect::new(i as f64 * 0.1, 0.0, i as f64 * 0.1 + 0.05, 0.1))
+            .collect();
+        items.extend((0..5).map(|i| {
+            Rect::new(
+                100.0 + i as f64 * 0.1,
+                0.0,
+                100.0 + i as f64 * 0.1 + 0.05,
+                0.1,
+            )
+        }));
+        for policy in [
+            SplitPolicy::Linear,
+            SplitPolicy::Quadratic,
+            SplitPolicy::RStar,
+        ] {
+            let config = RTreeConfig {
+                max_entries: 9,
+                min_entries: 3,
+                split: policy,
+                reinsert: false,
+            };
+            let (a, b) = split(items.clone(), &config);
+            let ra = Rect::mbb(a.iter()).unwrap();
+            let rb = Rect::mbb(b.iter()).unwrap();
+            assert_eq!(ra.overlap_area(&rb), 0.0, "{policy:?} mixed the clusters");
+        }
+    }
+
+    #[test]
+    fn rstar_minimizes_overlap_on_grid() {
+        let config = RTreeConfig {
+            max_entries: 15,
+            min_entries: 5,
+            split: SplitPolicy::RStar,
+            reinsert: false,
+        };
+        let (a, b) = split(rects(16), &config);
+        let ra = Rect::mbb(a.iter().map(|e| e.rect())).unwrap();
+        let rb = Rect::mbb(b.iter().map(|e| e.rect())).unwrap();
+        // A grid always admits a clean axis cut with bounded overlap.
+        assert!(ra.overlap_area(&rb) < ra.area().min(rb.area()));
+    }
+}

@@ -1,0 +1,184 @@
+//! Structural statistics used by tests (invariant checking) and by the
+//! ablation benchmarks (split-policy quality comparison).
+
+use crate::node::Node;
+use crate::tree::RTree;
+use sdr_geom::Rect;
+
+/// A structural snapshot of an [`RTree`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RTreeStats {
+    /// Number of leaf nodes.
+    pub leaves: usize,
+    /// Number of internal nodes.
+    pub internals: usize,
+    /// Number of stored entries.
+    pub entries: usize,
+    /// Tree height (single leaf = 0).
+    pub height: usize,
+    /// Average leaf fill ratio in `[0, 1]`.
+    pub avg_leaf_fill: f64,
+    /// Total pairwise overlap area between sibling rectangles, summed over
+    /// every internal node — the quality metric split policies minimize.
+    pub sibling_overlap: f64,
+    /// Total dead space: sum over internal nodes of
+    /// `area(node) − Σ area(children)`, clamped at zero per node.
+    pub dead_space: f64,
+}
+
+impl<T> RTree<T> {
+    /// Computes structural statistics in one traversal.
+    pub fn stats(&self) -> RTreeStats {
+        let mut s = RTreeStats {
+            height: self.height(),
+            entries: self.len(),
+            ..Default::default()
+        };
+        let mut leaf_fill_sum = 0.0;
+        visit(
+            &self.root,
+            &mut s,
+            &mut leaf_fill_sum,
+            self.config.max_entries,
+        );
+        if s.leaves > 0 {
+            s.avg_leaf_fill = leaf_fill_sum / s.leaves as f64;
+        }
+        s
+    }
+
+    /// Checks every structural invariant; panics with a description on
+    /// violation. Test-oriented (O(n log n)).
+    pub fn check_invariants(&self) {
+        check(
+            &self.root,
+            self.config.min_entries,
+            self.config.max_entries,
+            true,
+            None,
+        );
+        let counted = self.iter().count();
+        assert_eq!(counted, self.len(), "len() disagrees with entry count");
+    }
+}
+
+fn visit<T>(node: &Node<T>, s: &mut RTreeStats, leaf_fill_sum: &mut f64, max: usize) {
+    match node {
+        Node::Leaf(es) => {
+            s.leaves += 1;
+            *leaf_fill_sum += es.len() as f64 / max as f64;
+        }
+        Node::Internal(cs) => {
+            s.internals += 1;
+            let own: Rect = Rect::mbb(cs.iter().map(|c| &c.rect)).expect("internal non-empty");
+            let child_area: f64 = cs.iter().map(|c| c.rect.area()).sum();
+            s.dead_space += (own.area() - child_area).max(0.0);
+            for i in 0..cs.len() {
+                for j in (i + 1)..cs.len() {
+                    s.sibling_overlap += cs[i].rect.overlap_area(&cs[j].rect);
+                }
+                visit(&cs[i].node, s, leaf_fill_sum, max);
+            }
+        }
+    }
+}
+
+/// Recursive invariant check: fanout bounds, rect accuracy, uniform leaf
+/// depth. Returns the subtree height.
+fn check<T>(
+    node: &Node<T>,
+    min: usize,
+    max: usize,
+    is_root: bool,
+    expected_rect: Option<&Rect>,
+) -> usize {
+    let fanout = node.fanout();
+    if is_root {
+        assert!(fanout <= max, "root overflow: {fanout} > {max}");
+    } else {
+        assert!(fanout >= min, "node underflow: {fanout} < {min}");
+        assert!(fanout <= max, "node overflow: {fanout} > {max}");
+    }
+    if let Some(expected) = expected_rect {
+        let actual = node.mbb().expect("non-root nodes are non-empty");
+        assert_eq!(&actual, expected, "cached child rect out of date");
+    }
+    match node {
+        Node::Leaf(_) => 0,
+        Node::Internal(cs) => {
+            assert!(!cs.is_empty(), "empty internal node");
+            let mut heights = cs
+                .iter()
+                .map(|c| check(&c.node, min, max, false, Some(&c.rect)));
+            let first = heights.next().expect("non-empty");
+            for h in heights {
+                assert_eq!(h, first, "leaves at non-uniform depth");
+            }
+            first + 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RTreeConfig, SplitPolicy};
+
+    fn build(n: usize, policy: SplitPolicy) -> RTree<usize> {
+        let mut t = RTree::new(RTreeConfig::with_max(8, policy));
+        for i in 0..n {
+            let x = ((i * 37) % 100) as f64;
+            let y = ((i * 61) % 100) as f64;
+            t.insert(Rect::new(x, y, x + 1.5, y + 1.5), i);
+        }
+        t
+    }
+
+    #[test]
+    fn invariants_hold_after_inserts() {
+        for policy in [
+            SplitPolicy::Linear,
+            SplitPolicy::Quadratic,
+            SplitPolicy::RStar,
+        ] {
+            build(800, policy).check_invariants();
+        }
+    }
+
+    #[test]
+    fn invariants_hold_after_mixed_ops() {
+        let mut t = build(400, SplitPolicy::Quadratic);
+        for i in (0..400).step_by(3) {
+            let x = ((i * 37) % 100) as f64;
+            let y = ((i * 61) % 100) as f64;
+            assert!(t.remove(&Rect::new(x, y, x + 1.5, y + 1.5), &i));
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn stats_count_nodes() {
+        let t = build(500, SplitPolicy::Quadratic);
+        let s = t.stats();
+        assert_eq!(s.entries, 500);
+        assert!(s.leaves >= 500 / 8);
+        assert!(s.internals >= 1);
+        assert!(s.avg_leaf_fill > 0.3 && s.avg_leaf_fill <= 1.0);
+        assert!(s.height >= 2);
+    }
+
+    #[test]
+    fn bulk_load_has_better_fill_than_inserts() {
+        let entries: Vec<crate::Entry<usize>> = (0..1000)
+            .map(|i| {
+                let x = ((i * 37) % 100) as f64;
+                let y = ((i * 61) % 100) as f64;
+                crate::Entry::new(Rect::new(x, y, x + 1.5, y + 1.5), i)
+            })
+            .collect();
+        let bulk = RTree::bulk_load(RTreeConfig::with_max(8, SplitPolicy::Quadratic), entries);
+        bulk.check_invariants();
+        let inc = build(1000, SplitPolicy::Quadratic);
+        assert!(bulk.stats().avg_leaf_fill >= inc.stats().avg_leaf_fill);
+    }
+}

@@ -1,0 +1,550 @@
+use crate::config::RTreeConfig;
+use crate::entry::Entry;
+use crate::node::{Child, Node};
+use crate::split::split;
+use sdr_geom::Rect;
+
+/// A classical in-memory R-tree over payloads of type `T`.
+///
+/// See the [crate docs](crate) for role and examples. The tree owns its
+/// entries; structural parameters come from an [`RTreeConfig`] fixed at
+/// construction.
+#[derive(Clone, Debug)]
+pub struct RTree<T> {
+    pub(crate) root: Node<T>,
+    pub(crate) config: RTreeConfig,
+    pub(crate) len: usize,
+}
+
+impl<T> RTree<T> {
+    /// Creates an empty tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration violates `1 <= m <= M/2`.
+    pub fn new(config: RTreeConfig) -> Self {
+        config.validate();
+        RTree {
+            root: Node::new_leaf(),
+            config,
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configuration the tree was built with.
+    #[inline]
+    pub fn config(&self) -> &RTreeConfig {
+        &self.config
+    }
+
+    /// Minimal bounding box of all stored entries — the *directory
+    /// rectangle* of the server holding this tree, in SD-Rtree terms.
+    pub fn bbox(&self) -> Option<Rect> {
+        self.root.mbb()
+    }
+
+    /// Height of the tree (a single leaf has height 0).
+    pub fn height(&self) -> usize {
+        self.root.height()
+    }
+
+    /// Inserts an object with the given bounding box.
+    pub fn insert(&mut self, rect: Rect, item: T) {
+        self.len += 1;
+        let reinsert = self.config.reinsert;
+        self.insert_entry(Entry::new(rect, item), reinsert);
+    }
+
+    /// Inserts one entry; `allow_reinsert` arms the R\*-style forced
+    /// reinsertion for the *first* leaf overflow only (evicted entries
+    /// re-enter with it disarmed, as in the R\*-tree).
+    fn insert_entry(&mut self, entry: Entry<T>, allow_reinsert: bool) {
+        let rect = entry.rect;
+        match insert_rec(&mut self.root, rect, entry, &self.config, allow_reinsert) {
+            Overflow::None => {}
+            Overflow::Split(left, right) => {
+                // Root split: grow the tree by one level. The old root
+                // was drained by the split and is replaced wholesale.
+                self.root = Node::Internal(vec![left, right]);
+            }
+            Overflow::Reinsert(evicted) => {
+                for e in evicted {
+                    self.insert_entry(e, false);
+                }
+            }
+        }
+    }
+
+    /// Removes one entry matching both `rect` and `item`. Returns `true`
+    /// if an entry was removed.
+    ///
+    /// Follows Guttman's CondenseTree: leaves that underflow are
+    /// dissolved and their remaining entries re-inserted. Orphaned
+    /// internal subtrees are dissolved down to their leaf entries before
+    /// re-insertion; this is marginally more work than re-inserting whole
+    /// subtrees but keeps the tree invariants trivially intact, and
+    /// deletions are rare in the SD-Rtree workloads (paper §3.3:
+    /// "deletions ... are rare in practice").
+    pub fn remove(&mut self, rect: &Rect, item: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        let mut orphans: Vec<Entry<T>> = Vec::new();
+        let removed = remove_rec(&mut self.root, rect, item, &self.config, &mut orphans);
+        if !removed {
+            debug_assert!(orphans.is_empty());
+            return false;
+        }
+        self.len -= 1;
+        // Shrink the root while it is an internal node with one child.
+        loop {
+            let replace = match &mut self.root {
+                Node::Internal(cs) if cs.len() == 1 => Some(*cs.pop().expect("len 1").node),
+                Node::Internal(cs) if cs.is_empty() => Some(Node::new_leaf()),
+                _ => None,
+            };
+            match replace {
+                Some(n) => self.root = n,
+                None => break,
+            }
+        }
+        // Reinsert orphaned entries (they are already counted in len).
+        for e in orphans {
+            self.insert_entry(e, false);
+        }
+        true
+    }
+
+    /// Drains every entry out of the tree, leaving it empty.
+    ///
+    /// Used by the SD-Rtree server split (§2.2): the overloaded server
+    /// takes all its objects out, splits them in two halves, keeps one and
+    /// ships the other to the new server.
+    pub fn drain_all(&mut self) -> Vec<Entry<T>> {
+        let root = std::mem::replace(&mut self.root, Node::new_leaf());
+        self.len = 0;
+        let mut out = Vec::new();
+        collect_entries(root, &mut out);
+        out
+    }
+
+    /// Iterates over all entries (arbitrary order).
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            stack: vec![&self.root],
+            leaf: [].iter(),
+        }
+    }
+}
+
+/// Iterator over every entry of an [`RTree`], in arbitrary order.
+pub struct Iter<'a, T> {
+    stack: Vec<&'a Node<T>>,
+    leaf: std::slice::Iter<'a, Entry<T>>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a Entry<T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(e) = self.leaf.next() {
+                return Some(e);
+            }
+            match self.stack.pop()? {
+                Node::Leaf(es) => self.leaf = es.iter(),
+                Node::Internal(cs) => {
+                    for c in cs {
+                        self.stack.push(&c.node);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn collect_entries<T>(node: Node<T>, out: &mut Vec<Entry<T>>) {
+    match node {
+        Node::Leaf(mut es) => out.append(&mut es),
+        Node::Internal(cs) => {
+            for c in cs {
+                collect_entries(*c.node, out);
+            }
+        }
+    }
+}
+
+/// Chooses the child needing the least enlargement to cover `rect`
+/// (ties: smallest area, then lowest index) — Guttman's ChooseSubtree.
+pub(crate) fn choose_subtree<T>(children: &[Child<T>], rect: &Rect) -> usize {
+    let mut best = 0usize;
+    let mut best_enl = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for (i, c) in children.iter().enumerate() {
+        let enl = c.rect.enlargement(rect);
+        let area = c.rect.area();
+        if enl < best_enl || (enl == best_enl && area < best_area) {
+            best = i;
+            best_enl = enl;
+            best_area = area;
+        }
+    }
+    best
+}
+
+/// Outcome of a recursive insert at one node.
+enum Overflow<T> {
+    /// Fitted without structural change.
+    None,
+    /// The node split; the caller replaces its child with the halves.
+    Split(Child<T>, Child<T>),
+    /// Forced reinsertion: the leaf evicted its outliers; the caller
+    /// recomputes rectangles along the path and re-inserts them at the
+    /// root.
+    Reinsert(Vec<Entry<T>>),
+}
+
+/// Recursive insert.
+fn insert_rec<T>(
+    node: &mut Node<T>,
+    rect: Rect,
+    entry: Entry<T>,
+    config: &RTreeConfig,
+    allow_reinsert: bool,
+) -> Overflow<T> {
+    match node {
+        Node::Leaf(entries) => {
+            entries.push(entry);
+            if entries.len() > config.max_entries {
+                if allow_reinsert {
+                    // R\*-style forced reinsertion: evict the ~30 % of
+                    // entries whose centers lie farthest from the node's
+                    // center, keeping at least `m`.
+                    let mbb = Rect::mbb(entries.iter().map(|e| &e.rect)).expect("non-empty");
+                    let c = mbb.center();
+                    let evict =
+                        (entries.len() * 3 / 10).clamp(1, entries.len() - config.min_entries);
+                    entries.sort_by(|a, b| {
+                        let da = a.rect.center().dist2(&c);
+                        let db = b.rect.center().dist2(&c);
+                        db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    let evicted: Vec<Entry<T>> = entries.drain(..evict).collect();
+                    return Overflow::Reinsert(evicted);
+                }
+                let items = std::mem::take(entries);
+                let (a, b) = split(items, config);
+                let ra = Rect::mbb(a.iter().map(|e| &e.rect)).expect("non-empty split half");
+                let rb = Rect::mbb(b.iter().map(|e| &e.rect)).expect("non-empty split half");
+                Overflow::Split(
+                    Child {
+                        rect: ra,
+                        node: Box::new(Node::Leaf(a)),
+                    },
+                    Child {
+                        rect: rb,
+                        node: Box::new(Node::Leaf(b)),
+                    },
+                )
+            } else {
+                Overflow::None
+            }
+        }
+        Node::Internal(children) => {
+            let idx = choose_subtree(children, &rect);
+            let result = insert_rec(&mut children[idx].node, rect, entry, config, allow_reinsert);
+            match result {
+                Overflow::None => {
+                    children[idx].rect.enlarge(&rect);
+                    Overflow::None
+                }
+                Overflow::Reinsert(evicted) => {
+                    // The child shrank: recompute its exact rectangle and
+                    // keep bubbling the evicted entries to the root.
+                    children[idx].rect = children[idx].node.mbb().expect("leaf kept >= m entries");
+                    Overflow::Reinsert(evicted)
+                }
+                Overflow::Split(left, right) => {
+                    children.swap_remove(idx);
+                    children.push(left);
+                    children.push(right);
+                    if children.len() > config.max_entries {
+                        let items = std::mem::take(children);
+                        let (a, b) = split(items, config);
+                        let ra = Rect::mbb(a.iter().map(|c| &c.rect)).expect("non-empty");
+                        let rb = Rect::mbb(b.iter().map(|c| &c.rect)).expect("non-empty");
+                        Overflow::Split(
+                            Child {
+                                rect: ra,
+                                node: Box::new(Node::Internal(a)),
+                            },
+                            Child {
+                                rect: rb,
+                                node: Box::new(Node::Internal(b)),
+                            },
+                        )
+                    } else {
+                        Overflow::None
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Recursive remove + condense. Returns whether the entry was found.
+/// Underflowing children are dissolved into `orphans`.
+fn remove_rec<T: PartialEq>(
+    node: &mut Node<T>,
+    rect: &Rect,
+    item: &T,
+    config: &RTreeConfig,
+    orphans: &mut Vec<Entry<T>>,
+) -> bool {
+    match node {
+        Node::Leaf(entries) => {
+            if let Some(pos) = entries
+                .iter()
+                .position(|e| e.rect == *rect && e.item == *item)
+            {
+                entries.swap_remove(pos);
+                true
+            } else {
+                false
+            }
+        }
+        Node::Internal(children) => {
+            let mut found_at: Option<usize> = None;
+            #[allow(clippy::needless_range_loop)] // `children` is mutated in the loop body
+            for i in 0..children.len() {
+                if children[i].rect.contains(rect)
+                    && remove_rec(&mut children[i].node, rect, item, config, orphans)
+                {
+                    found_at = Some(i);
+                    break;
+                }
+            }
+            let Some(i) = found_at else { return false };
+            if children[i].node.fanout() < config.min_entries {
+                // Dissolve the underflowing child.
+                let child = children.swap_remove(i);
+                collect_entries(*child.node, orphans);
+            } else if let Some(mbb) = children[i].node.mbb() {
+                children[i].rect = mbb;
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SplitPolicy;
+    use sdr_geom::Point;
+
+    fn grid_tree(n: usize, policy: SplitPolicy) -> RTree<usize> {
+        let mut t = RTree::new(RTreeConfig::with_max(8, policy));
+        for i in 0..n {
+            let x = (i % 50) as f64;
+            let y = (i / 50) as f64;
+            t.insert(Rect::new(x, y, x + 0.5, y + 0.5), i);
+        }
+        t
+    }
+
+    #[test]
+    fn insert_and_count() {
+        for policy in [
+            SplitPolicy::Linear,
+            SplitPolicy::Quadratic,
+            SplitPolicy::RStar,
+        ] {
+            let t = grid_tree(500, policy);
+            assert_eq!(t.len(), 500);
+            assert!(t.height() >= 2, "{policy:?} tree too shallow");
+        }
+    }
+
+    #[test]
+    fn bbox_covers_everything() {
+        let t = grid_tree(200, SplitPolicy::Quadratic);
+        let bb = t.bbox().unwrap();
+        assert!(bb.contains(&Rect::new(0.0, 0.0, 49.5, 3.5)));
+    }
+
+    #[test]
+    fn point_search_finds_inserted() {
+        let t = grid_tree(500, SplitPolicy::Quadratic);
+        for i in [0usize, 49, 250, 499] {
+            let x = (i % 50) as f64;
+            let y = (i / 50) as f64;
+            let hits = t.search_point(&Point::new(x + 0.25, y + 0.25));
+            assert!(hits.iter().any(|e| e.item == i), "missing {i}");
+        }
+    }
+
+    #[test]
+    fn remove_existing_entry() {
+        let mut t = grid_tree(300, SplitPolicy::Quadratic);
+        let rect = Rect::new(7.0, 2.0, 7.5, 2.5); // i = 107
+        assert!(t.remove(&rect, &107));
+        assert_eq!(t.len(), 299);
+        assert!(t
+            .search_point(&Point::new(7.25, 2.25))
+            .iter()
+            .all(|e| e.item != 107));
+        // Everything else is still there.
+        assert!(t
+            .search_point(&Point::new(6.25, 2.25))
+            .iter()
+            .any(|e| e.item == 106));
+    }
+
+    #[test]
+    fn remove_missing_entry_is_noop() {
+        let mut t = grid_tree(100, SplitPolicy::Quadratic);
+        assert!(!t.remove(&Rect::new(1000.0, 1000.0, 1001.0, 1001.0), &42));
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn remove_everything_empties_tree() {
+        let mut t = grid_tree(200, SplitPolicy::Quadratic);
+        for i in 0..200usize {
+            let x = (i % 50) as f64;
+            let y = (i / 50) as f64;
+            assert!(
+                t.remove(&Rect::new(x, y, x + 0.5, y + 0.5), &i),
+                "failed to remove {i}"
+            );
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.bbox(), None);
+        // The tree remains usable.
+        t.insert(Rect::new(0.0, 0.0, 1.0, 1.0), 7);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn drain_all_returns_everything() {
+        let mut t = grid_tree(150, SplitPolicy::Linear);
+        let entries = t.drain_all();
+        assert_eq!(entries.len(), 150);
+        assert!(t.is_empty());
+        let ids: std::collections::HashSet<usize> = entries.iter().map(|e| e.item).collect();
+        assert_eq!(ids.len(), 150);
+    }
+
+    #[test]
+    fn duplicate_rects_with_distinct_items() {
+        let mut t: RTree<u32> = RTree::new(RTreeConfig::with_max(4, SplitPolicy::Quadratic));
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        for i in 0..20 {
+            t.insert(r, i);
+        }
+        assert_eq!(t.len(), 20);
+        assert_eq!(t.search_window(&r).len(), 20);
+        assert!(t.remove(&r, &13));
+        assert_eq!(t.search_window(&r).len(), 19);
+    }
+}
+
+#[cfg(test)]
+mod reinsert_tests {
+    use super::*;
+    use crate::config::SplitPolicy;
+    use sdr_geom::Point;
+
+    fn skewed_rects(n: usize) -> Vec<Rect> {
+        // Clustered data where outlier eviction pays off.
+        (0..n)
+            .map(|i| {
+                let cluster = (i % 3) as f64 * 30.0;
+                let x = cluster + ((i * 7) % 10) as f64;
+                let y = cluster + ((i * 13) % 10) as f64;
+                Rect::new(x, y, x + 0.5, y + 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reinsertion_preserves_correctness() {
+        let data = skewed_rects(600);
+        let mut plain: RTree<usize> = RTree::new(RTreeConfig::with_max(8, SplitPolicy::RStar));
+        let mut reins: RTree<usize> =
+            RTree::new(RTreeConfig::with_max(8, SplitPolicy::RStar).with_reinsertion());
+        for (i, r) in data.iter().enumerate() {
+            plain.insert(*r, i);
+            reins.insert(*r, i);
+        }
+        assert_eq!(reins.len(), 600);
+        reins.check_invariants();
+        // Identical answers on every probe.
+        for probe in [
+            Rect::new(0.0, 0.0, 12.0, 12.0),
+            Rect::new(29.0, 29.0, 42.0, 42.0),
+            Rect::new(-5.0, -5.0, 100.0, 100.0),
+        ] {
+            let mut a: Vec<usize> = plain.search_window(&probe).iter().map(|e| e.item).collect();
+            let mut b: Vec<usize> = reins.search_window(&probe).iter().map(|e| e.item).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn reinsertion_survives_mixed_ops() {
+        let data = skewed_rects(400);
+        let mut t: RTree<usize> =
+            RTree::new(RTreeConfig::with_max(6, SplitPolicy::Quadratic).with_reinsertion());
+        for (i, r) in data.iter().enumerate() {
+            t.insert(*r, i);
+        }
+        for (i, r) in data.iter().enumerate().filter(|(i, _)| i % 2 == 0) {
+            assert!(t.remove(r, &i));
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 200);
+        let hits = t.search_point(&Point::new(data[1].xmin + 0.25, data[1].ymin + 0.25));
+        assert!(hits.iter().any(|e| e.item == 1));
+    }
+
+    #[test]
+    fn reinsertion_tends_to_reduce_overlap() {
+        // Not guaranteed on every dataset, but on this adversarial
+        // insertion order the eviction heuristic must not make things
+        // dramatically worse.
+        let data = skewed_rects(800);
+        let build = |reinsert: bool| {
+            let mut cfg = RTreeConfig::with_max(10, SplitPolicy::Quadratic);
+            if reinsert {
+                cfg = cfg.with_reinsertion();
+            }
+            let mut t: RTree<usize> = RTree::new(cfg);
+            for (i, r) in data.iter().enumerate() {
+                t.insert(*r, i);
+            }
+            t.stats().sibling_overlap
+        };
+        let plain = build(false);
+        let reins = build(true);
+        assert!(
+            reins <= plain * 1.5,
+            "reinsertion degraded overlap badly: {reins} vs {plain}"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Property tests: the R-tree must agree with a brute-force scan under
+//! arbitrary sequences of inserts and deletes, for every split policy,
+//! and its structural invariants must hold throughout.
+
+use proptest::prelude::*;
+use sdr_geom::{Point, Rect};
+use sdr_rtree::{Entry, RTree, RTreeConfig, SplitPolicy};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Rect, u32),
+    /// Delete the entry inserted by the i-th insert (if still present).
+    Delete(usize),
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0f64..100.0, 0.0f64..100.0, 0.0f64..10.0, 0.0f64..10.0)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (arb_rect(), any::<u32>()).prop_map(|(r, id)| Op::Insert(r, id)),
+            1 => (0usize..200).prop_map(Op::Delete),
+        ],
+        1..120,
+    )
+}
+
+fn arb_policy() -> impl Strategy<Value = SplitPolicy> {
+    prop_oneof![
+        Just(SplitPolicy::Linear),
+        Just(SplitPolicy::Quadratic),
+        Just(SplitPolicy::RStar),
+    ]
+}
+
+/// Replays `ops` against both the R-tree and a naive vector; returns both.
+fn replay(ops: &[Op], policy: SplitPolicy, max: usize) -> (RTree<u32>, Vec<(Rect, u32)>) {
+    replay_cfg(ops, RTreeConfig::with_max(max, policy))
+}
+
+fn replay_cfg(ops: &[Op], config: RTreeConfig) -> (RTree<u32>, Vec<(Rect, u32)>) {
+    let mut tree = RTree::new(config);
+    let mut naive: Vec<(Rect, u32)> = Vec::new();
+    let mut inserted: Vec<(Rect, u32)> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Insert(r, id) => {
+                tree.insert(*r, *id);
+                naive.push((*r, *id));
+                inserted.push((*r, *id));
+            }
+            Op::Delete(i) => {
+                if let Some((r, id)) = inserted.get(*i).copied() {
+                    let in_naive = naive.iter().position(|(nr, nid)| *nr == r && *nid == id);
+                    let removed = tree.remove(&r, &id);
+                    match in_naive {
+                        Some(pos) => {
+                            assert!(removed, "tree missed an entry the oracle has");
+                            naive.swap_remove(pos);
+                        }
+                        None => assert!(!removed, "tree removed an entry the oracle lost"),
+                    }
+                }
+            }
+        }
+    }
+    (tree, naive)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn window_queries_match_oracle(
+        ops in arb_ops(),
+        policy in arb_policy(),
+        window in arb_rect(),
+    ) {
+        let (tree, naive) = replay(&ops, policy, 6);
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), naive.len());
+
+        let mut got: Vec<u32> = tree.search_window(&window).iter().map(|e| e.item).collect();
+        let mut want: Vec<u32> = naive
+            .iter()
+            .filter(|(r, _)| r.intersects(&window))
+            .map(|(_, id)| *id)
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn point_queries_match_oracle(
+        ops in arb_ops(),
+        policy in arb_policy(),
+        px in 0.0f64..110.0,
+        py in 0.0f64..110.0,
+    ) {
+        let (tree, naive) = replay(&ops, policy, 4);
+        let p = Point::new(px, py);
+        let mut got: Vec<u32> = tree.search_point(&p).iter().map(|e| e.item).collect();
+        let mut want: Vec<u32> = naive
+            .iter()
+            .filter(|(r, _)| r.contains_point(&p))
+            .map(|(_, id)| *id)
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn knn_distances_match_oracle(
+        ops in arb_ops(),
+        policy in arb_policy(),
+        px in 0.0f64..110.0,
+        py in 0.0f64..110.0,
+        k in 1usize..10,
+    ) {
+        let (tree, naive) = replay(&ops, policy, 8);
+        let p = Point::new(px, py);
+        let got: Vec<f64> = tree.nearest(p, k).iter().map(|(_, d)| *d).collect();
+        let mut want: Vec<f64> = naive.iter().map(|(r, _)| r.min_dist(&p)).collect();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        want.truncate(k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-9, "got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental(
+        rects in proptest::collection::vec(arb_rect(), 1..200),
+        policy in arb_policy(),
+    ) {
+        let entries: Vec<Entry<usize>> =
+            rects.iter().enumerate().map(|(i, r)| Entry::new(*r, i)).collect();
+        let bulk = RTree::bulk_load(RTreeConfig::with_max(8, policy), entries);
+        bulk.check_invariants();
+        prop_assert_eq!(bulk.len(), rects.len());
+
+        let probe = Rect::new(20.0, 20.0, 60.0, 60.0);
+        let mut got: Vec<usize> = bulk.search_window(&probe).iter().map(|e| e.item).collect();
+        let mut want: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&probe))
+            .map(|(i, _)| i)
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reinsertion_matches_oracle(
+        ops in arb_ops(),
+        policy in arb_policy(),
+        window in arb_rect(),
+    ) {
+        let config = RTreeConfig::with_max(6, policy).with_reinsertion();
+        let (tree, naive) = replay_cfg(&ops, config);
+        tree.check_invariants();
+        let mut got: Vec<u32> = tree.search_window(&window).iter().map(|e| e.item).collect();
+        let mut want: Vec<u32> = naive
+            .iter()
+            .filter(|(r, _)| r.intersects(&window))
+            .map(|(_, id)| *id)
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bbox_is_exact(ops in arb_ops(), policy in arb_policy()) {
+        let (tree, naive) = replay(&ops, policy, 6);
+        let want = Rect::mbb(naive.iter().map(|(r, _)| r));
+        prop_assert_eq!(tree.bbox(), want);
+    }
+}

@@ -1,0 +1,134 @@
+use crate::distributions::Sampler;
+use sdr_geom::Rect;
+
+/// Spatial distribution of object centers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Distribution {
+    /// Uniform over the unit square — the paper's Figure 8(a) / Table 1
+    /// "uniform distribution" setting.
+    Uniform,
+    /// Gaussian-cluster mixture — the paper's "skewed" setting
+    /// (Figure 8(b), Table 1 right half). Defaults: 5 clusters, σ = 0.05.
+    Skewed {
+        /// Number of Gaussian clusters.
+        clusters: usize,
+        /// Cluster standard deviation (fraction of the space extent).
+        sigma: f64,
+    },
+}
+
+impl Distribution {
+    /// The skewed setting used throughout the experiments.
+    pub const fn default_skewed() -> Self {
+        Distribution::Skewed {
+            clusters: 5,
+            sigma: 0.05,
+        }
+    }
+}
+
+/// Specification of a rectangle dataset.
+///
+/// Objects are small rectangles: centers follow [`Distribution`], extents
+/// per axis are uniform in `extent_range` ("assuming an almost uniform
+/// size of objects", §2.3). With the default extent range, once the space
+/// is covered new objects almost always fit inside some server's directory
+/// rectangle, which is the regime the paper analyses.
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetSpec {
+    /// Number of objects to generate.
+    pub n: usize,
+    /// Center distribution.
+    pub distribution: Distribution,
+    /// Per-axis extent range `(min, max)` as a fraction of the space.
+    pub extent_range: (f64, f64),
+}
+
+impl DatasetSpec {
+    /// A spec with the default extent range `[0.0002, 0.002]`.
+    pub fn new(n: usize, distribution: Distribution) -> Self {
+        DatasetSpec {
+            n,
+            distribution,
+            extent_range: (0.0002, 0.002),
+        }
+    }
+
+    /// Overrides the extent range.
+    pub fn with_extents(mut self, min: f64, max: f64) -> Self {
+        assert!(min >= 0.0 && max >= min, "invalid extent range");
+        self.extent_range = (min, max);
+        self
+    }
+
+    /// Generates the dataset deterministically from `seed`. The returned
+    /// rectangles are clipped to the unit square.
+    pub fn generate(&self, seed: u64) -> Vec<Rect> {
+        let mut sampler = self.sampler(seed);
+        let (lo, hi) = self.extent_range;
+        (0..self.n)
+            .map(|_| {
+                let c = sampler.sample();
+                let w = sampler.sample_range(lo, hi);
+                let h = sampler.sample_range(lo, hi);
+                let r = Rect::centered(c, w, h);
+                Rect::new(
+                    r.xmin.clamp(0.0, 1.0),
+                    r.ymin.clamp(0.0, 1.0),
+                    r.xmax.clamp(0.0, 1.0),
+                    r.ymax.clamp(0.0, 1.0),
+                )
+            })
+            .collect()
+    }
+
+    /// The sampler corresponding to this spec's distribution.
+    pub fn sampler(&self, seed: u64) -> Sampler {
+        match self.distribution {
+            Distribution::Uniform => Sampler::uniform(seed),
+            Distribution::Skewed { clusters, sigma } => Sampler::clustered(seed, clusters, sigma),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_right_count_inside_space() {
+        let data = DatasetSpec::new(5000, Distribution::Uniform).generate(1);
+        assert_eq!(data.len(), 5000);
+        let space = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert!(data.iter().all(|r| space.contains(r)));
+    }
+
+    #[test]
+    fn extents_respected() {
+        let data = DatasetSpec::new(1000, Distribution::Uniform)
+            .with_extents(0.01, 0.02)
+            .generate(2);
+        // Interior rectangles (not clipped) must respect the range.
+        for r in data
+            .iter()
+            .filter(|r| r.xmin > 0.03 && r.xmax < 0.97 && r.ymin > 0.03 && r.ymax < 0.97)
+        {
+            assert!(r.width() >= 0.01 - 1e-12 && r.width() <= 0.02 + 1e-12);
+            assert!(r.height() >= 0.01 - 1e-12 && r.height() <= 0.02 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = DatasetSpec::new(100, Distribution::default_skewed());
+        assert_eq!(spec.generate(7), spec.generate(7));
+        assert_ne!(spec.generate(7), spec.generate(8));
+    }
+
+    #[test]
+    fn skewed_differs_from_uniform() {
+        let u = DatasetSpec::new(100, Distribution::Uniform).generate(7);
+        let s = DatasetSpec::new(100, Distribution::default_skewed()).generate(7);
+        assert_ne!(u, s);
+    }
+}

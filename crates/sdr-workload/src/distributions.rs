@@ -1,0 +1,189 @@
+//! Low-level coordinate samplers over the unit square.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdr_geom::Point;
+
+/// A seeded sampler of points in the unit square `[0,1]²`.
+///
+/// The skewed sampler is a Gaussian-cluster mixture: a fixed set of
+/// cluster centers is drawn first, then each sample picks a cluster
+/// (Zipf-weighted so early clusters dominate, mimicking GSTD's skew) and
+/// adds Gaussian noise, clamped to the square.
+#[derive(Clone, Debug)]
+pub struct Sampler {
+    rng: StdRng,
+    kind: SamplerKind,
+}
+
+#[derive(Clone, Debug)]
+enum SamplerKind {
+    Uniform,
+    Clusters {
+        centers: Vec<Point>,
+        /// Cumulative Zipf weights over the centers.
+        cdf: Vec<f64>,
+        sigma: f64,
+    },
+}
+
+impl Sampler {
+    /// Uniform sampler.
+    pub fn uniform(seed: u64) -> Self {
+        Sampler {
+            rng: StdRng::seed_from_u64(seed),
+            kind: SamplerKind::Uniform,
+        }
+    }
+
+    /// Skewed sampler: `clusters` Gaussian clusters of standard deviation
+    /// `sigma`, selected with Zipf(1) weights.
+    pub fn clustered(seed: u64, clusters: usize, sigma: f64) -> Self {
+        assert!(clusters >= 1, "need at least one cluster");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_c105);
+        let centers: Vec<Point> = (0..clusters)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        // Zipf weights 1/1, 1/2, ..., normalized into a CDF.
+        let weights: Vec<f64> = (1..=clusters).map(|i| 1.0 / i as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf: Vec<f64> = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Sampler {
+            rng: StdRng::seed_from_u64(seed),
+            kind: SamplerKind::Clusters {
+                centers,
+                cdf,
+                sigma,
+            },
+        }
+    }
+
+    /// Draws the next point.
+    pub fn sample(&mut self) -> Point {
+        match &self.kind {
+            SamplerKind::Uniform => Point::new(self.rng.gen::<f64>(), self.rng.gen::<f64>()),
+            SamplerKind::Clusters {
+                centers,
+                cdf,
+                sigma,
+            } => {
+                let u = self.rng.gen::<f64>();
+                let idx = cdf.partition_point(|c| *c < u).min(centers.len() - 1);
+                let c = centers[idx];
+                let (gx, gy) = gaussian_pair(&mut self.rng);
+                Point::new(
+                    (c.x + gx * sigma).clamp(0.0, 1.0),
+                    (c.y + gy * sigma).clamp(0.0, 1.0),
+                )
+            }
+        }
+    }
+
+    /// Draws a uniform value in `[lo, hi)` from the sampler's RNG (used
+    /// for extents so one seed drives the whole workload).
+    pub fn sample_range(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.rng.gen_range(lo..hi)
+    }
+}
+
+/// Box–Muller transform: two independent standard normal variates.
+fn gaussian_pair(rng: &mut StdRng) -> (f64, f64) {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen::<f64>();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_stays_in_square() {
+        let mut s = Sampler::uniform(1);
+        for _ in 0..1000 {
+            let p = s.sample();
+            assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn uniform_is_deterministic() {
+        let a: Vec<Point> = {
+            let mut s = Sampler::uniform(99);
+            (0..10).map(|_| s.sample()).collect()
+        };
+        let b: Vec<Point> = {
+            let mut s = Sampler::uniform(99);
+            (0..10).map(|_| s.sample()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clustered_stays_in_square() {
+        let mut s = Sampler::clustered(7, 5, 0.05);
+        for _ in 0..1000 {
+            let p = s.sample();
+            assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn clustered_is_actually_skewed() {
+        // Chop the square into a 4x4 grid; a skewed sampler should load
+        // some cells much more than uniform would.
+        let mut s = Sampler::clustered(3, 3, 0.03);
+        let mut cells = [0usize; 16];
+        let n = 4000;
+        for _ in 0..n {
+            let p = s.sample();
+            let cx = ((p.x * 4.0) as usize).min(3);
+            let cy = ((p.y * 4.0) as usize).min(3);
+            cells[cy * 4 + cx] += 1;
+        }
+        let max = *cells.iter().max().unwrap();
+        assert!(
+            max > n / 8,
+            "expected a hot cell with > {} samples, max was {}",
+            n / 8,
+            max
+        );
+    }
+
+    #[test]
+    fn gaussian_pair_has_roughly_zero_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sum = 0.0;
+        let n = 10_000;
+        for _ in 0..n {
+            let (a, b) = gaussian_pair(&mut rng);
+            sum += a + b;
+        }
+        assert!((sum / (2.0 * n as f64)).abs() < 0.05);
+    }
+
+    #[test]
+    fn uniform_covers_the_square() {
+        let mut s = Sampler::uniform(11);
+        let mut cells = [false; 16];
+        for _ in 0..2000 {
+            let p = s.sample();
+            let cx = ((p.x * 4.0) as usize).min(3);
+            let cy = ((p.y * 4.0) as usize).min(3);
+            cells[cy * 4 + cx] = true;
+        }
+        assert!(cells.iter().all(|c| *c));
+    }
+}

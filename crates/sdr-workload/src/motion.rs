@@ -1,0 +1,160 @@
+//! Moving-object workloads — the *spatiotemporal* side of GSTD.
+//!
+//! GSTD (Theodoridis et al., the paper's generator) produces evolving
+//! datasets: objects whose positions change over discrete timestamps.
+//! The SD-Rtree handles movement as delete + re-insert (§3.3); this
+//! module generates the per-tick trajectories that workload needs — a
+//! bounded random walk over the unit square, seeded and deterministic.
+
+use crate::distributions::Sampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdr_geom::{Point, Rect};
+
+/// A moving-objects workload: `n` objects of fixed extent performing a
+/// random walk with per-tick displacement up to `step` per axis.
+#[derive(Clone, Debug)]
+pub struct MotionSpec {
+    /// Number of moving objects.
+    pub n: usize,
+    /// Maximum per-axis displacement per tick (fraction of the space).
+    pub step: f64,
+    /// Per-axis object extent.
+    pub extent: f64,
+    /// Fraction of the fleet that moves each tick.
+    pub mobility: f64,
+}
+
+impl MotionSpec {
+    /// A spec with full mobility and a small default extent.
+    pub fn new(n: usize, step: f64) -> Self {
+        assert!((0.0..=1.0).contains(&step), "step must be within the space");
+        MotionSpec {
+            n,
+            step,
+            extent: 0.001,
+            mobility: 1.0,
+        }
+    }
+
+    /// Overrides the fraction of objects moving per tick.
+    pub fn with_mobility(mut self, mobility: f64) -> Self {
+        assert!((0.0..=1.0).contains(&mobility));
+        self.mobility = mobility;
+        self
+    }
+
+    /// Starts a deterministic simulation from uniform initial positions.
+    pub fn start(&self, seed: u64) -> Motion {
+        let mut sampler = Sampler::uniform(seed);
+        let positions = (0..self.n).map(|_| sampler.sample()).collect();
+        Motion {
+            spec: self.clone(),
+            positions,
+            rng: StdRng::seed_from_u64(seed ^ 0x0D0_7E11),
+        }
+    }
+}
+
+/// A running moving-objects simulation.
+#[derive(Clone, Debug)]
+pub struct Motion {
+    spec: MotionSpec,
+    positions: Vec<Point>,
+    rng: StdRng,
+}
+
+impl Motion {
+    /// Current bounding boxes, indexed by object.
+    pub fn rects(&self) -> Vec<Rect> {
+        self.positions.iter().map(|p| self.rect_at(*p)).collect()
+    }
+
+    /// The bounding box an object has at position `p`.
+    pub fn rect_at(&self, p: Point) -> Rect {
+        let r = Rect::centered(p, self.spec.extent, self.spec.extent);
+        Rect::new(
+            r.xmin.clamp(0.0, 1.0),
+            r.ymin.clamp(0.0, 1.0),
+            r.xmax.clamp(0.0, 1.0),
+            r.ymax.clamp(0.0, 1.0),
+        )
+    }
+
+    /// Advances one tick; returns `(object index, old box, new box)` for
+    /// every object that moved — exactly the delete + re-insert pairs an
+    /// index maintainer needs.
+    pub fn tick(&mut self) -> Vec<(usize, Rect, Rect)> {
+        let mut moves = Vec::new();
+        for i in 0..self.positions.len() {
+            if !self.rng.gen_bool(self.spec.mobility) {
+                continue;
+            }
+            let old = self.positions[i];
+            let new = Point::new(
+                (old.x + self.rng.gen_range(-self.spec.step..=self.spec.step)).clamp(0.0, 1.0),
+                (old.y + self.rng.gen_range(-self.spec.step..=self.spec.step)).clamp(0.0, 1.0),
+            );
+            let old_rect = self.rect_at(old);
+            self.positions[i] = new;
+            moves.push((i, old_rect, self.rect_at(new)));
+        }
+        moves
+    }
+
+    /// Current position of one object.
+    pub fn position(&self, i: usize) -> Point {
+        self.positions[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motion_is_deterministic() {
+        let mut a = MotionSpec::new(50, 0.01).start(9);
+        let mut b = MotionSpec::new(50, 0.01).start(9);
+        for _ in 0..5 {
+            assert_eq!(a.tick(), b.tick());
+        }
+        assert_eq!(a.rects(), b.rects());
+    }
+
+    #[test]
+    fn displacement_bounded_by_step() {
+        let spec = MotionSpec::new(100, 0.02);
+        let mut m = spec.start(3);
+        let before = m.rects();
+        let moves = m.tick();
+        assert_eq!(moves.len(), 100, "full mobility moves everyone");
+        for (i, old, new) in moves {
+            assert_eq!(old, before[i]);
+            assert!((new.center().x - old.center().x).abs() <= 0.02 + 1e-12);
+            assert!((new.center().y - old.center().y).abs() <= 0.02 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn objects_stay_in_space() {
+        let mut m = MotionSpec::new(80, 0.3).start(7);
+        let space = Rect::new(0.0, 0.0, 1.0, 1.0);
+        for _ in 0..20 {
+            m.tick();
+            for r in m.rects() {
+                assert!(space.contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn partial_mobility_moves_a_fraction() {
+        let mut m = MotionSpec::new(1_000, 0.01).with_mobility(0.2).start(5);
+        let moved = m.tick().len();
+        assert!(
+            (100..320).contains(&moved),
+            "expected ~200 movers, got {moved}"
+        );
+    }
+}

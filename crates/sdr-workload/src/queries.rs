@@ -1,0 +1,110 @@
+use crate::dataset::Distribution;
+use crate::distributions::Sampler;
+use sdr_geom::{Point, Rect};
+
+/// Point-query workload: query points drawn from a [`Distribution`].
+#[derive(Clone, Copy, Debug)]
+pub struct PointSpec {
+    /// Distribution of query points.
+    pub distribution: Distribution,
+}
+
+impl PointSpec {
+    /// Uniform query points (the paper's query experiments run against a
+    /// uniformly-built tree).
+    pub const fn uniform() -> Self {
+        PointSpec {
+            distribution: Distribution::Uniform,
+        }
+    }
+
+    /// Generates `n` query points.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Point> {
+        let mut s = match self.distribution {
+            Distribution::Uniform => Sampler::uniform(seed),
+            Distribution::Skewed { clusters, sigma } => Sampler::clustered(seed, clusters, sigma),
+        };
+        (0..n).map(|_| s.sample()).collect()
+    }
+}
+
+/// Window-query workload.
+///
+/// §5.2: "The extend of the query rectangle on each axis is randomly
+/// drawn up to 10 % of the space extend." Window centers are uniform.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowSpec {
+    /// Maximum per-axis window extent as a fraction of the space.
+    pub max_extent: f64,
+}
+
+impl WindowSpec {
+    /// The paper's setting: extents up to 10 % of the space per axis.
+    pub const fn paper_default() -> Self {
+        WindowSpec { max_extent: 0.1 }
+    }
+
+    /// A spec with a custom maximum extent.
+    pub fn with_max_extent(max_extent: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&max_extent),
+            "extent must be within the space"
+        );
+        WindowSpec { max_extent }
+    }
+
+    /// Generates `n` query windows, clipped to the unit square.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Rect> {
+        let mut s = Sampler::uniform(seed);
+        (0..n)
+            .map(|_| {
+                let c = s.sample();
+                let w = s.sample_range(0.0, self.max_extent);
+                let h = s.sample_range(0.0, self.max_extent);
+                let r = Rect::centered(c, w, h);
+                Rect::new(
+                    r.xmin.clamp(0.0, 1.0),
+                    r.ymin.clamp(0.0, 1.0),
+                    r.xmax.clamp(0.0, 1.0),
+                    r.ymax.clamp(0.0, 1.0),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_respect_max_extent() {
+        let ws = WindowSpec::paper_default().generate(500, 3);
+        assert_eq!(ws.len(), 500);
+        for w in &ws {
+            assert!(w.width() <= 0.1 + 1e-12);
+            assert!(w.height() <= 0.1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn windows_inside_space() {
+        let space = Rect::new(0.0, 0.0, 1.0, 1.0);
+        for w in WindowSpec::with_max_extent(0.5).generate(200, 4) {
+            assert!(space.contains(&w));
+        }
+    }
+
+    #[test]
+    fn points_deterministic() {
+        let a = PointSpec::uniform().generate(50, 9);
+        let b = PointSpec::uniform().generate(50, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "extent")]
+    fn rejects_oversized_extent() {
+        WindowSpec::with_max_extent(1.5);
+    }
+}

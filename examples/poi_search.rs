@@ -1,0 +1,81 @@
+//! Points-of-interest search: a skewed, read-heavy workload comparing
+//! the paper's three addressing variants.
+//!
+//! POIs cluster around cities (the paper's skewed GSTD distribution);
+//! users run point and window lookups. The example shows the message
+//! economics that motivate the whole design: the BASIC variant funnels
+//! everything through the root server, while client images cut the cost
+//! to ~1–3 messages per operation and spread the load evenly.
+//!
+//! ```bash
+//! cargo run --release --example poi_search
+//! ```
+
+use sd_rtree::workload::{DatasetSpec, Distribution, PointSpec, WindowSpec};
+use sd_rtree::{Client, ClientId, Cluster, Object, Oid, SdrConfig, Variant};
+
+const POIS: usize = 60_000;
+const LOOKUPS: usize = 500;
+
+fn main() {
+    let pois = DatasetSpec::new(POIS, Distribution::default_skewed()).generate(2026);
+    let points = PointSpec::uniform().generate(LOOKUPS, 3);
+    let windows = WindowSpec::with_max_extent(0.05).generate(LOOKUPS, 4);
+
+    println!("indexing {POIS} POIs (skewed around 5 cities), then {LOOKUPS} lookups\n");
+    println!(
+        "{:<10} {:>8} {:>12} {:>14} {:>14} {:>12}",
+        "variant", "servers", "ins msg/op", "point msg/q", "window msg/q", "root share"
+    );
+
+    for variant in [Variant::Basic, Variant::ImServer, Variant::ImClient] {
+        let mut cluster = Cluster::new(SdrConfig::with_capacity(2_000));
+        let mut client = Client::new(ClientId(0), variant, 11);
+
+        let t_ins = cluster.stats.snapshot();
+        for (i, r) in pois.iter().enumerate() {
+            client.insert(&mut cluster, Object::new(Oid(i as u64), *r));
+        }
+        let ins = cluster.stats.since(&t_ins);
+
+        let t_q = cluster.stats.snapshot();
+        let mut results = 0usize;
+        for p in &points {
+            results += client.point_query(&mut cluster, *p).results.len();
+        }
+        let point_msgs = cluster.stats.since(&t_q);
+
+        let t_w = cluster.stats.snapshot();
+        for w in &windows {
+            results += client.window_query(&mut cluster, *w).results.len();
+        }
+        let window_msgs = cluster.stats.since(&t_w);
+
+        // How concentrated is the load on the root server?
+        let root = cluster.root_node().server;
+        let root_share = cluster.stats.server(root) as f64 / cluster.stats.total().max(1) as f64;
+
+        println!(
+            "{:<10} {:>8} {:>12.2} {:>14.2} {:>14.2} {:>11.1}%",
+            format!("{variant:?}"),
+            cluster.num_servers(),
+            ins.total as f64 / POIS as f64,
+            point_msgs.total as f64 / LOOKUPS as f64,
+            window_msgs.total as f64 / LOOKUPS as f64,
+            root_share * 100.0,
+        );
+        // Silence the unused accumulation (the work is real; the count
+        // is identical across variants by construction).
+        let _ = results;
+    }
+
+    println!(
+        "\nTwo effects to read off the table: (1) inserts — images cut the cost to \
+         ~1-2\nmessages while BASIC pays a full root-to-leaf path every time; \
+         (2) the root\nshare — BASIC funnels a fifth of ALL traffic through one \
+         machine, the variants\nspread it. On heavily-overlapping skewed data the \
+         per-query message count of\nthe image variants can exceed BASIC's (leaf-level \
+         coverage forwarding pays for\noverlap), but the root is no longer the \
+         bottleneck — which is what scalability\nmeans for an SDDS (§3, §5)."
+    );
+}

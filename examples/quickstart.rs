@@ -1,0 +1,90 @@
+//! Quickstart: build a distributed SD-Rtree, watch it scale through
+//! splits, and run every kind of query.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use sd_rtree::core::MsgCategory;
+use sd_rtree::{Client, ClientId, Cluster, Object, Oid, Point, Rect, SdrConfig, Variant};
+
+fn main() {
+    // A cluster starts as a single empty server. Data nodes hold up to
+    // 500 objects here (the paper uses 3,000); beyond that a server
+    // splits and hands half its data to a freshly allocated server.
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(500));
+
+    // The main client variant of the paper: the client keeps an *image*
+    // of the distributed tree, lazily corrected by image adjustment
+    // messages whenever it addresses the wrong server.
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 42);
+
+    // Index 20,000 small rectangles laid out on a grid.
+    println!("inserting 20,000 objects...");
+    let mut oid = 0u64;
+    for i in 0..200 {
+        for j in 0..100 {
+            let r = Rect::new(i as f64, j as f64, i as f64 + 0.6, j as f64 + 0.6);
+            client.insert(&mut cluster, Object::new(Oid(oid), r));
+            oid += 1;
+        }
+    }
+
+    println!(
+        "cluster: {} servers, tree height {}, average load {:.0}%",
+        cluster.num_servers(),
+        cluster.height(),
+        cluster.avg_load() * 100.0
+    );
+    println!(
+        "messages: {} total ({} insert routing, {} split, {} balance, {} coverage)",
+        cluster.stats.total(),
+        cluster.stats.category(MsgCategory::Insert),
+        cluster.stats.category(MsgCategory::Split),
+        cluster.stats.category(MsgCategory::Adjust) + cluster.stats.category(MsgCategory::Rotation),
+        cluster.stats.category(MsgCategory::Oc),
+    );
+
+    // Point query: which objects cover this point?
+    let p = Point::new(42.3, 17.3);
+    let out = client.point_query(&mut cluster, p);
+    println!(
+        "\npoint query {:?}: {} object(s) in {} message(s) (direct hit: {})",
+        (p.x, p.y),
+        out.results.len(),
+        out.messages,
+        out.direct
+    );
+
+    // Window query: everything intersecting a region.
+    let w = Rect::new(10.0, 10.0, 14.5, 13.5);
+    let out = client.window_query(&mut cluster, w);
+    println!(
+        "window query {}x{}: {} object(s) in {} message(s)",
+        w.width(),
+        w.height(),
+        out.results.len(),
+        out.messages
+    );
+
+    // k nearest neighbours (the paper's future-work extension).
+    let knn = client.knn(&mut cluster, Point::new(100.0, 50.0), 5);
+    println!("5-NN around (100, 50):");
+    for (oid, dist) in &knn.neighbors {
+        println!("  {oid} at distance {dist:.3}");
+    }
+
+    // Delete an object and verify it is gone.
+    let victim = Object::new(Oid(0), Rect::new(0.0, 0.0, 0.6, 0.6));
+    let (removed, _) = client.delete(&mut cluster, victim);
+    let check = client.point_query(&mut cluster, Point::new(0.3, 0.3));
+    println!(
+        "\ndeleted object o0: {} (point query now finds {} object(s) there)",
+        removed,
+        check.results.len()
+    );
+
+    // The structure stays internally consistent throughout.
+    cluster.check_invariants();
+    println!("all structural invariants hold ✓");
+}
