@@ -2,11 +2,12 @@
 //! the wall-clock complement to the paper's message-count experiments
 //! (Figure 8 / Table 1).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sdr_bench::exp::common::{dataset, Dist};
 use sdr_core::{Client, ClientId, Cluster, Object, Oid, SdrConfig, Variant};
+use sdr_det::bench::{black_box, Bench};
 
-fn bench_cluster_insert(c: &mut Criterion) {
+fn bench_cluster_insert(c: &mut Bench) {
+    c.set_sample_size(10);
     let rects = dataset(10_000, Dist::Uniform, 17);
     for variant in [Variant::Basic, Variant::ImClient, Variant::ImServer] {
         c.bench_function(&format!("cluster/insert_10k_{variant:?}"), |b| {
@@ -22,9 +23,4 @@ fn bench_cluster_insert(c: &mut Criterion) {
     }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_cluster_insert
-}
-criterion_main!(benches);
+sdr_det::bench_main!(bench_cluster_insert);

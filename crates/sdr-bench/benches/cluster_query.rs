@@ -1,12 +1,13 @@
 //! Simulated query latency per variant against a 20k-object tree — the
 //! wall-clock complement to Figure 12.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sdr_bench::exp::common::{dataset, Dist};
 use sdr_core::{Client, ClientId, Cluster, Object, Oid, SdrConfig, Variant};
+use sdr_det::bench::{black_box, Bench};
 use sdr_workload::{PointSpec, WindowSpec};
 
-fn bench_cluster_query(c: &mut Criterion) {
+fn bench_cluster_query(c: &mut Bench) {
+    c.set_sample_size(20);
     let rects = dataset(20_000, Dist::Uniform, 19);
     let mut cluster = Cluster::new(SdrConfig::with_capacity(500));
     let mut builder = Client::new(ClientId(9), Variant::ImClient, 5);
@@ -39,9 +40,4 @@ fn bench_cluster_query(c: &mut Criterion) {
     }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_cluster_query
-}
-criterion_main!(benches);
+sdr_det::bench_main!(bench_cluster_query);

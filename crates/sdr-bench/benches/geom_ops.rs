@@ -1,11 +1,12 @@
 //! Micro-benchmarks of the geometry kernel — the innermost loops of
 //! every traversal and split.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sdr_bench::exp::common::{dataset, Dist};
+use sdr_det::bench::{black_box, Bench};
 use sdr_geom::Point;
 
-fn bench_geom(c: &mut Criterion) {
+fn bench_geom(c: &mut Bench) {
+    c.set_sample_size(20);
     let rects = dataset(10_000, Dist::Uniform, 7);
     let points: Vec<Point> = rects.iter().map(|r| r.center()).collect();
 
@@ -50,9 +51,4 @@ fn bench_geom(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_geom
-}
-criterion_main!(benches);
+sdr_det::bench_main!(bench_geom);

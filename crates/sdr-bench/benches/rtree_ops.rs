@@ -2,12 +2,13 @@
 //! plus STR bulk loading — the data-node storage layer every server
 //! runs.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sdr_bench::exp::common::{dataset, Dist};
+use sdr_det::bench::{black_box, Bench};
 use sdr_geom::{Point, Rect};
 use sdr_rtree::{Entry, RTree, RTreeConfig, SplitPolicy};
 
-fn bench_rtree(c: &mut Criterion) {
+fn bench_rtree(c: &mut Bench) {
+    c.set_sample_size(15);
     let rects = dataset(10_000, Dist::Uniform, 11);
 
     for policy in [
@@ -62,9 +63,4 @@ fn bench_rtree(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_rtree
-}
-criterion_main!(benches);
+sdr_det::bench_main!(bench_rtree);

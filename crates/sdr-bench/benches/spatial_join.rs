@@ -2,11 +2,12 @@
 //! and message cost of a full conflict sweep, versus a centralized
 //! brute-force baseline.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sdr_core::{Client, ClientId, Cluster, Object, Oid, SdrConfig, Variant};
+use sdr_det::bench::{black_box, Bench};
 use sdr_workload::{DatasetSpec, Distribution};
 
-fn bench_join(c: &mut Criterion) {
+fn bench_join(c: &mut Bench) {
+    c.set_sample_size(10);
     let data = DatasetSpec::new(4_000, Distribution::Uniform)
         .with_extents(0.002, 0.01)
         .generate(23);
@@ -36,9 +37,4 @@ fn bench_join(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_join
-}
-criterion_main!(benches);
+sdr_det::bench_main!(bench_join);

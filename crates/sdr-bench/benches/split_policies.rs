@@ -2,12 +2,13 @@
 //! capacity of 3,000 objects) under each split policy, and the quality
 //! (overlap) of the resulting halves.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sdr_bench::exp::common::{dataset, Dist};
+use sdr_det::bench::{black_box, Bench};
 use sdr_geom::Rect;
 use sdr_rtree::{partition, Entry, RTreeConfig, SplitPolicy};
 
-fn bench_splits(c: &mut Criterion) {
+fn bench_splits(c: &mut Bench) {
+    c.set_sample_size(10);
     let rects = dataset(3_001, Dist::Uniform, 13);
     for policy in [
         SplitPolicy::Linear,
@@ -36,9 +37,4 @@ fn bench_splits(c: &mut Criterion) {
     }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_splits
-}
-criterion_main!(benches);
+sdr_det::bench_main!(bench_splits);

@@ -2,7 +2,6 @@
 //! that dominate network traffic — bulk `SplitCreate` (large) and
 //! `Query` hops (small, frequent).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sdr_bench::exp::common::{dataset, Dist};
 use sdr_core::ids::{ClientId, NodeRef, Oid, QueryId, ServerId};
 use sdr_core::msg::{
@@ -10,7 +9,9 @@ use sdr_core::msg::{
 };
 use sdr_core::node::{Object, RoutingNode};
 use sdr_core::{Link, OcTable};
+use sdr_det::bench::{black_box, Bench};
 use sdr_geom::{Point, Rect};
+use sdr_net::buf::ReadBuf;
 use sdr_net::{decode_message, encode_message};
 
 fn split_create_msg() -> Message {
@@ -64,7 +65,8 @@ fn query_msg() -> Message {
     }
 }
 
-fn bench_codec(c: &mut Criterion) {
+fn bench_codec(c: &mut Bench) {
+    c.set_sample_size(30);
     let big = split_create_msg();
     let small = query_msg();
 
@@ -74,7 +76,7 @@ fn bench_codec(c: &mut Criterion) {
     let big_frame = encode_message(&big);
     c.bench_function("wire/decode_split_create_1500obj", |b| {
         b.iter(|| {
-            let mut body = big_frame.slice(4..);
+            let mut body = ReadBuf::new(&big_frame[4..]);
             black_box(decode_message(&mut body).unwrap())
         })
     });
@@ -85,15 +87,10 @@ fn bench_codec(c: &mut Criterion) {
     let small_frame = encode_message(&small);
     c.bench_function("wire/decode_query", |b| {
         b.iter(|| {
-            let mut body = small_frame.slice(4..);
+            let mut body = ReadBuf::new(&small_frame[4..]);
             black_box(decode_message(&mut body).unwrap())
         })
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_codec
-}
-criterion_main!(benches);
+sdr_det::bench_main!(bench_codec);

@@ -503,7 +503,7 @@ pub fn f2(v: f64) -> String {
 }
 
 /// Generates a data rectangle set identical to the experiment's
-/// distribution (exposed for criterion benches).
+/// distribution (exposed for the micro-bench suites).
 pub fn dataset(n: usize, dist: Dist, seed: u64) -> Vec<Rect> {
     DatasetSpec::new(n, dist.distribution()).generate(seed)
 }

@@ -19,8 +19,7 @@ use crate::msg::{
     ReplyProtocol,
 };
 use crate::node::Object;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sdr_det::{DetRng, Rng};
 use sdr_geom::{Point, Rect};
 
 /// The addressing variant a client runs (§5).
@@ -73,7 +72,7 @@ pub struct Client {
     /// contact server", §3.1).
     pub contact: ServerId,
     next_qid: u64,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl Client {
@@ -87,7 +86,7 @@ impl Client {
             protocol: ReplyProtocol::Direct,
             contact: ServerId(0),
             next_qid: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 

@@ -174,11 +174,7 @@ impl Cluster {
     /// interprets acks, reports and IAMs).
     pub fn drain(&mut self) -> Vec<Message> {
         let mut to_clients = Vec::new();
-        while let Some(msg) = self
-            .queue
-            .pop_front()
-            .or_else(|| self.deferred.pop_front())
-        {
+        while let Some(msg) = self.queue.pop_front().or_else(|| self.deferred.pop_front()) {
             match msg.to {
                 Endpoint::Server(sid) => {
                     let idx = sid.0 as usize;

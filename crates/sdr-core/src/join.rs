@@ -10,17 +10,32 @@
 //! 3. **Boundary phase.** Cross-node pairs can only live in the regions
 //!    where two subtrees overlap — which is *exactly* what the
 //!    overlapping-coverage tables record (§2.3). Each data node ships
-//!    the objects intersecting each OC entry's rectangle to the entry's
-//!    outer subtree as a `JoinProbe`; receiving data nodes join the
-//!    probe set against their local objects.
+//!    the objects intersecting each OC entry's rectangle as a
+//!    `JoinProbe` addressed to the entry's **ancestor** routing node,
+//!    which descends it into every child subtree intersecting the
+//!    overlap region; receiving data nodes join the probe set against
+//!    their local objects.
+//!
+//! Probes are routed through the *ancestor*, not the entry's cached
+//! outer link, deliberately: the invariant the structure maintains for
+//! OC tables (see `invariants.rs`) guarantees an entry per current
+//! ancestor with a covering rectangle, but allows the cached outer link
+//! to lag behind rotations. A lagged link can point at a node that is no
+//! longer the sibling-subtree root yet still covers the (small) overlap
+//! region — the probe would "resolve" there and silently miss every
+//! object that a rotation moved out from under it. Ancestor identities
+//! and parent/child pointers, by contrast, are maintained exactly, so
+//! descending from the ancestor is always complete. The ancestor-side
+//! descent also revisits the sender's own half of the tree; the pairs
+//! that produces are duplicates of lower-ancestor probes and are
+//! de-duplicated by the client. If the OC rectangle itself lags larger
+//! than the ancestor's directory rectangle, the probe repairs with the
+//! same ascend-and-retry mechanism as queries.
 //!
 //! Double counting is avoided without global coordination: probes flow
 //! in *both* directions across every overlap region, and the receiving
 //! node emits a pair only when `probe.oid < local.oid` — so each cross
 //! pair is produced exactly once, at the node holding its larger oid.
-//! Stale OC outer links are repaired with the same ascend-and-retry
-//! mechanism as queries (plus client-side pair de-duplication for the
-//! rare branch overlap that repair can introduce).
 //!
 //! Termination uses the direct protocol of §4.3: every hop reports its
 //! fan-out; the client counts replies.
@@ -209,7 +224,9 @@ impl Server {
                             }
                         }
                     }
-                    // Boundary phase: probe every overlap region.
+                    // Boundary phase: probe every overlap region through
+                    // its ancestor (see the module docs for why the
+                    // cached outer link cannot be trusted here).
                     let self_node = NodeRef::data(self.id);
                     for entry in d.oc.entries().to_vec() {
                         let objects: Vec<Object> = d
@@ -221,10 +238,11 @@ impl Server {
                         if objects.is_empty() {
                             continue;
                         }
+                        let ancestor = NodeRef::routing(entry.ancestor);
                         out.send_server(
-                            entry.outer.node.server,
+                            ancestor.server,
                             Payload::JoinProbe {
-                                target: entry.outer.node,
+                                target: ancestor,
                                 objects,
                                 region: entry.rect,
                                 mode: QueryMode::Check,
@@ -308,8 +326,8 @@ impl Server {
                         }
                     }
                     if !covered && mode != QueryMode::Descend {
-                        // Stale outer link: the region extends beyond
-                        // this (since split) node; repair upward.
+                        // The region extends beyond this (since split)
+                        // node; repair upward.
                         if let Some(parent) = d.parent {
                             forward(
                                 NodeRef::routing(parent),
@@ -337,10 +355,14 @@ impl Server {
                     let resolved =
                         mode == QueryMode::Descend || r.dr.contains(&region) || r.is_root();
                     if resolved {
-                        let probes_bbox =
-                            Rect::mbb(objects.iter().map(|o| &o.mbb)).unwrap_or(region);
+                        // Descend by the probe *region*, not the probes'
+                        // bbox: every pair's intersection lies inside the
+                        // region (both members intersect the overlap
+                        // rectangle the probe was born with), so the
+                        // tighter test prunes boundary fan-out without
+                        // losing pairs.
                         for child in [r.left, r.right] {
-                            if child.dr.intersects(&probes_bbox) {
+                            if child.dr.intersects(&region) {
                                 forward(child.node, QueryMode::Descend, &visited, target, out);
                                 spawned += 1;
                             }

@@ -1,34 +1,36 @@
 //! Property tests of the client image and CHOOSEFROMIMAGE (§3.1).
 
-use proptest::prelude::*;
 use sdr_core::{Image, Link, NodeKind, NodeRef, ServerId};
+use sdr_det::prop::{bools, f64_in, u32_in, vecs_of, Gen};
 use sdr_geom::Rect;
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (0.0f64..100.0, 0.0f64..100.0, 0.5f64..30.0, 0.5f64..30.0)
-        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+fn arb_rect() -> Gen<Rect> {
+    f64_in(0.0, 100.0)
+        .zip(f64_in(0.0, 100.0))
+        .zip(f64_in(0.5, 30.0).zip(f64_in(0.5, 30.0)))
+        .map(|((x, y), (w, h))| Rect::new(x, y, x + w, y + h))
 }
 
-fn arb_link() -> impl Strategy<Value = Link> {
-    (0u32..40, any::<bool>(), arb_rect(), 0u32..10).prop_map(|(s, data, dr, h)| {
-        if data {
-            Link::to_data(ServerId(s), dr)
-        } else {
-            Link::to_routing(ServerId(s), dr, h.max(1))
-        }
-    })
+fn arb_link() -> Gen<Link> {
+    u32_in(0..40)
+        .zip(bools())
+        .zip(arb_rect().zip(u32_in(0..10)))
+        .map(|((s, data), (dr, h))| {
+            if data {
+                Link::to_data(ServerId(s), dr)
+            } else {
+                Link::to_routing(ServerId(s), dr, h.max(1))
+            }
+        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
+sdr_det::prop! {
     /// CHOOSEFROMIMAGE's documented preference order, verified against
     /// the stored links (step 1: smallest covering data link; step 2:
     /// lowest then smallest covering routing link; step 3: the data link
     /// needing the least enlargement).
-    #[test]
     fn choose_respects_preference_order(
-        links in proptest::collection::vec(arb_link(), 1..30),
+        links in vecs_of(arb_link(), 1..30),
         target in arb_rect(),
     ) {
         let mut image = Image::new();
@@ -44,19 +46,19 @@ proptest! {
         let any_data = view.iter().any(|l| l.is_data());
 
         match chosen {
-            None => prop_assert!(covering_data.is_empty() && covering_routing.is_empty() && !any_data),
+            None => assert!(covering_data.is_empty() && covering_routing.is_empty() && !any_data),
             Some(c) if c.is_data() && c.dr.contains(&target) => {
                 // Step 1: minimal area among covering data links.
                 for l in &covering_data {
-                    prop_assert!(c.dr.area() <= l.dr.area() + 1e-12);
+                    assert!(c.dr.area() <= l.dr.area() + 1e-12);
                 }
             }
             Some(c) if !c.is_data() => {
                 // Step 2 applies only when no data link covers.
-                prop_assert!(covering_data.is_empty());
-                prop_assert!(c.dr.contains(&target));
+                assert!(covering_data.is_empty());
+                assert!(c.dr.contains(&target));
                 for l in &covering_routing {
-                    prop_assert!(
+                    assert!(
                         c.height < l.height
                             || (c.height == l.height && c.dr.area() <= l.dr.area() + 1e-12)
                     );
@@ -65,10 +67,10 @@ proptest! {
             Some(c) => {
                 // Step 3: a non-covering data link — only when nothing
                 // covers; it needs the least enlargement.
-                prop_assert!(covering_data.is_empty() && covering_routing.is_empty());
+                assert!(covering_data.is_empty() && covering_routing.is_empty());
                 let enl = c.dr.enlargement(&target);
                 for l in view.iter().filter(|l| l.is_data()) {
-                    prop_assert!(enl <= l.dr.enlargement(&target) + 1e-12);
+                    assert!(enl <= l.dr.enlargement(&target) + 1e-12);
                 }
             }
         }
@@ -76,29 +78,27 @@ proptest! {
 
     /// `choose_data` (the point-query addressing of §4.1) never returns
     /// a routing link and prefers covering over closest.
-    #[test]
     fn choose_data_is_data_only(
-        links in proptest::collection::vec(arb_link(), 1..30),
+        links in vecs_of(arb_link(), 1..30),
         target in arb_rect(),
     ) {
         let mut image = Image::new();
         image.absorb(&links);
         if let Some(c) = image.choose_data(&target) {
-            prop_assert!(c.is_data());
+            assert!(c.is_data());
             let any_covering = image
                 .links()
                 .any(|l| l.is_data() && l.dr.contains(&target));
             if any_covering {
-                prop_assert!(c.dr.contains(&target));
+                assert!(c.dr.contains(&target));
             }
         } else {
-            prop_assert!(image.links().all(|l| !l.is_data()));
+            assert!(image.links().all(|l| !l.is_data()));
         }
     }
 
     /// Absorbing is idempotent and last-writer-wins per node.
-    #[test]
-    fn absorb_is_lww_per_node(links in proptest::collection::vec(arb_link(), 1..40)) {
+    fn absorb_is_lww_per_node(links in vecs_of(arb_link(), 1..40)) {
         let mut image = Image::new();
         image.absorb(&links);
         image.absorb(&links);
@@ -107,26 +107,25 @@ proptest! {
         for l in &links {
             last.insert(l.node, *l);
         }
-        prop_assert_eq!(image.len(), last.len());
+        assert_eq!(image.len(), last.len());
         for l in image.links() {
-            prop_assert_eq!(Some(l), last.get(&l.node));
+            assert_eq!(Some(l), last.get(&l.node));
         }
         let servers: std::collections::HashSet<ServerId> =
             last.keys().map(|n| n.server).collect();
-        prop_assert_eq!(image.known_servers(), servers.len());
+        assert_eq!(image.known_servers(), servers.len());
     }
 
     /// Forgetting removes exactly the named node.
-    #[test]
-    fn forget_is_precise(links in proptest::collection::vec(arb_link(), 2..20)) {
+    fn forget_is_precise(links in vecs_of(arb_link(), 2..20)) {
         let mut image = Image::new();
         image.absorb(&links);
         let victim = links[0].node;
         let before = image.len();
         let had = image.links().any(|l| l.node == victim);
         image.forget(victim);
-        prop_assert!(image.links().all(|l| l.node != victim));
-        prop_assert_eq!(image.len(), before - usize::from(had));
+        assert!(image.links().all(|l| l.node != victim));
+        assert_eq!(image.len(), before - usize::from(had));
         let _ = NodeKind::Data; // silence unused import on some paths
     }
 }

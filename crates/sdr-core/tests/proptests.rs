@@ -3,8 +3,8 @@
 //! agree with a brute-force oracle, for every variant and split policy,
 //! and the structural invariants must hold at quiescence.
 
-use proptest::prelude::*;
 use sdr_core::{Client, ClientId, Cluster, Object, Oid, SdrConfig, Variant};
+use sdr_det::prop::{f64_in, freq, just, one_of, points_in, usize_in, vecs_of, Gen};
 use sdr_geom::{Point, Rect};
 use sdr_rtree::SplitPolicy;
 
@@ -18,50 +18,54 @@ enum Op {
     Knn(Point, usize),
 }
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (0.0f64..0.95, 0.0f64..0.95, 0.001f64..0.05, 0.001f64..0.05)
-        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+fn arb_rect() -> Gen<Rect> {
+    f64_in(0.0, 0.95)
+        .zip(f64_in(0.0, 0.95))
+        .zip(f64_in(0.001, 0.05).zip(f64_in(0.001, 0.05)))
+        .map(|((x, y), (w, h))| Rect::new(x, y, x + w, y + h))
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            8 => arb_rect().prop_map(Op::Insert),
-            2 => (0usize..400).prop_map(Op::Delete),
-            2 => (0.0f64..1.0, 0.0f64..1.0).prop_map(|(x, y)| Op::Point(Point::new(x, y))),
-            2 => arb_rect().prop_map(Op::Window),
-            1 => (0.0f64..1.0, 0.0f64..1.0, 1usize..6)
-                .prop_map(|(x, y, k)| Op::Knn(Point::new(x, y), k)),
-        ],
+fn arb_ops() -> Gen<Vec<Op>> {
+    vecs_of(
+        freq(vec![
+            (8, arb_rect().map(Op::Insert)),
+            (2, usize_in(0..400).map(Op::Delete)),
+            (2, points_in(0.0..1.0, 0.0..1.0).map(Op::Point)),
+            (2, arb_rect().map(Op::Window)),
+            (
+                1,
+                points_in(0.0..1.0, 0.0..1.0)
+                    .zip(usize_in(1..6))
+                    .map(|(p, k)| Op::Knn(p, k)),
+            ),
+        ]),
         20..250,
     )
 }
 
-fn arb_variant() -> impl Strategy<Value = Variant> {
-    prop_oneof![
-        Just(Variant::Basic),
-        Just(Variant::ImClient),
-        Just(Variant::ImServer)
-    ]
+fn arb_variant() -> Gen<Variant> {
+    one_of(vec![
+        just(Variant::Basic),
+        just(Variant::ImClient),
+        just(Variant::ImServer),
+    ])
 }
 
-fn arb_policy() -> impl Strategy<Value = SplitPolicy> {
-    prop_oneof![
-        Just(SplitPolicy::Linear),
-        Just(SplitPolicy::Quadratic),
-        Just(SplitPolicy::RStar),
-    ]
+fn arb_policy() -> Gen<SplitPolicy> {
+    one_of(vec![
+        just(SplitPolicy::Linear),
+        just(SplitPolicy::Quadratic),
+        just(SplitPolicy::RStar),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
+sdr_det::prop! {
     fn cluster_agrees_with_oracle(
+        cases = 100;
         ops in arb_ops(),
         variant in arb_variant(),
         policy in arb_policy(),
-        capacity in 8usize..40,
+        capacity in usize_in(8..40),
     ) {
         let mut cluster = Cluster::new(SdrConfig::with_capacity(capacity).with_split(policy));
         let mut client = Client::new(ClientId(0), variant, 7);
@@ -79,7 +83,7 @@ proptest! {
                     if let Some((oid, r, alive)) = oracle.get(*i).copied() {
                         let (removed, _) =
                             client.delete(&mut cluster, Object::new(Oid(oid), r));
-                        prop_assert_eq!(removed, alive, "delete of {} wrong", oid);
+                        assert_eq!(removed, alive, "delete of {oid} wrong");
                         if let Some(e) = oracle.get_mut(*i) {
                             e.2 = false;
                         }
@@ -95,7 +99,7 @@ proptest! {
                         .collect();
                     got.sort_unstable();
                     want.sort_unstable();
-                    prop_assert_eq!(got, want, "point query at {:?}", p);
+                    assert_eq!(got, want, "point query at {p:?}");
                 }
                 Op::Window(w) => {
                     let out = client.window_query(&mut cluster, *w);
@@ -107,7 +111,7 @@ proptest! {
                         .collect();
                     got.sort_unstable();
                     want.sort_unstable();
-                    prop_assert_eq!(got, want, "window query {:?}", w);
+                    assert_eq!(got, want, "window query {w:?}");
                 }
                 Op::Knn(p, k) => {
                     let got = client.knn(&mut cluster, *p, *k);
@@ -118,22 +122,22 @@ proptest! {
                         .collect();
                     want.sort_by(|a, b| a.partial_cmp(b).unwrap());
                     want.truncate(*k);
-                    prop_assert_eq!(got.neighbors.len(), want.len());
+                    assert_eq!(got.neighbors.len(), want.len());
                     for ((_, d), w) in got.neighbors.iter().zip(&want) {
-                        prop_assert!((d - w).abs() < 1e-9, "kNN distance {d} vs {w}");
+                        assert!((d - w).abs() < 1e-9, "kNN distance {d} vs {w}");
                     }
                 }
             }
         }
         // Final state: counts and structure.
         let alive = oracle.iter().filter(|(_, _, a)| *a).count();
-        prop_assert_eq!(cluster.total_objects(), alive);
+        assert_eq!(cluster.total_objects(), alive);
         cluster.check_invariants();
     }
 
-    #[test]
     fn insert_only_message_cost_is_logarithmic(
-        rects in proptest::collection::vec(arb_rect(), 100..300),
+        cases = 100;
+        rects in vecs_of(arb_rect(), 100..300),
     ) {
         let mut cluster = Cluster::new(SdrConfig::with_capacity(10));
         let mut client = Client::new(ClientId(0), Variant::ImClient, 3);
@@ -143,7 +147,7 @@ proptest! {
             // plus split/OC maintenance. Use a generous structural bound.
             let n = cluster.num_servers() as f64;
             let bound = 12.0 * (n + 2.0).log2() + 8.0;
-            prop_assert!(
+            assert!(
                 (out.messages as f64) <= bound + cluster.config().capacity as f64,
                 "insert {i} cost {} messages with {} servers",
                 out.messages,

@@ -1,0 +1,232 @@
+//! A minimal wall-clock benchmark timer, replacing `criterion` for the
+//! `sdr-bench` micro-benches.
+//!
+//! Scope is deliberately tiny: warm up, calibrate an iteration batch so
+//! one sample costs ≥ ~1 ms, take N samples, report min / median / p99
+//! per-iteration time. No statistics beyond order statistics, no plots,
+//! no baseline storage — the experiment harness (`sdr-bench`'s
+//! `experiments` binary) owns the paper's figures; these timers exist to
+//! catch order-of-magnitude regressions on the hot paths.
+//!
+//! Environment knobs: `SDR_BENCH_SAMPLES` overrides the per-bench sample
+//! count; `SDR_BENCH_QUICK=1` caps samples at 10 for smoke runs.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark's summary, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Benchmark name.
+    pub name: String,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// 99th-percentile sample (the slowest sample for < 100 samples).
+    pub p99_ns: f64,
+    /// Iterations per sample after calibration.
+    pub iters_per_sample: u64,
+    /// Samples taken.
+    pub samples: usize,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// The bench runner: collects [`Summary`] rows and prints them.
+#[derive(Debug)]
+pub struct Bench {
+    sample_size: usize,
+    warmup: Duration,
+    min_sample_time: Duration,
+    results: Vec<Summary>,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench {
+            sample_size: 30,
+            warmup: Duration::from_millis(150),
+            min_sample_time: Duration::from_millis(1),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Bench {
+    /// A runner configured from the environment (see module docs).
+    pub fn from_env() -> Self {
+        let mut b = Bench::default();
+        if let Some(n) = std::env::var("SDR_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            b.sample_size = n.max(1);
+        }
+        if std::env::var_os("SDR_BENCH_QUICK").is_some() {
+            b.sample_size = b.sample_size.min(10);
+            b.warmup = Duration::from_millis(20);
+        }
+        b
+    }
+
+    /// Overrides the sample count for subsequent benches (kept for
+    /// parity with criterion's `sample_size`; the env still wins).
+    pub fn set_sample_size(&mut self, n: usize) {
+        if std::env::var_os("SDR_BENCH_SAMPLES").is_none()
+            && std::env::var_os("SDR_BENCH_QUICK").is_none()
+        {
+            self.sample_size = n.max(1);
+        }
+    }
+
+    /// Measures one benchmark and prints its summary line.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warmup: self.warmup,
+            min_sample_time: self.min_sample_time,
+            summary: None,
+        };
+        f(&mut bencher);
+        let summary = match bencher.summary {
+            Some(mut s) => {
+                s.name = name.to_string();
+                s
+            }
+            None => {
+                eprintln!("warning: bench `{name}` never called Bencher::iter");
+                return;
+            }
+        };
+        println!(
+            "{:<44} min {}  med {}  p99 {}   ({} iters × {} samples)",
+            summary.name,
+            fmt_ns(summary.min_ns),
+            fmt_ns(summary.median_ns),
+            fmt_ns(summary.p99_ns),
+            summary.iters_per_sample,
+            summary.samples,
+        );
+        self.results.push(summary);
+    }
+
+    /// All summaries collected so far.
+    pub fn results(&self) -> &[Summary] {
+        &self.results
+    }
+
+    /// Prints a closing line. (Kept as an explicit call so `main` reads
+    /// like the criterion harness it replaced.)
+    pub fn finish(&self) {
+        println!("-- {} benches done", self.results.len());
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// to measure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warmup: Duration,
+    min_sample_time: Duration,
+    summary: Option<Summary>,
+}
+
+impl Bencher {
+    /// Measures `f`: warmup, batch-size calibration, then
+    /// `sample_size` timed samples.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warmup: run until the warmup budget elapses (at least once).
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        // Calibrate: enough iterations that one sample meets the floor.
+        let per_iter = start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let iters = ((self.min_sample_time.as_nanos() as f64 / per_iter.max(0.1)).ceil() as u64)
+            .clamp(1, 10_000_000);
+        // Sample.
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("time is not NaN"));
+        let n = samples_ns.len();
+        self.summary = Some(Summary {
+            name: String::new(),
+            min_ns: samples_ns[0],
+            median_ns: samples_ns[n / 2],
+            p99_ns: samples_ns[((n as f64 * 0.99) as usize).min(n - 1)],
+            iters_per_sample: iters,
+            samples: n,
+        });
+    }
+}
+
+/// Expands to a `main` that runs the named bench functions — the
+/// replacement for `criterion_group!` + `criterion_main!`:
+///
+/// ```ignore
+/// fn bench_codec(c: &mut sdr_det::bench::Bench) { /* c.bench_function(...) */ }
+/// sdr_det::bench_main!(bench_codec);
+/// ```
+#[macro_export]
+macro_rules! bench_main {
+    ($($target:path),+ $(,)?) => {
+        fn main() {
+            let mut bench = $crate::bench::Bench::from_env();
+            $($target(&mut bench);)+
+            bench.finish();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_sane() {
+        let mut b = Bench {
+            sample_size: 5,
+            warmup: Duration::from_millis(1),
+            min_sample_time: Duration::from_micros(50),
+            results: Vec::new(),
+        };
+        b.bench_function("noop_sum", |bencher| {
+            bencher.iter(|| (0..100u64).sum::<u64>())
+        });
+        assert_eq!(b.results().len(), 1);
+        let s = &b.results()[0];
+        assert!(s.min_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.p99_ns);
+        assert_eq!(s.samples, 5);
+    }
+
+    #[test]
+    fn bench_without_iter_is_reported_not_fatal() {
+        let mut b = Bench::default();
+        b.bench_function("forgot_iter", |_| {});
+        assert!(b.results().is_empty());
+    }
+}

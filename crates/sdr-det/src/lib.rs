@@ -1,0 +1,45 @@
+//! # sdr-det — the workspace's determinism kit
+//!
+//! This workspace builds **hermetically**: no dependency outside the
+//! `sdr-*` crates, so `cargo build && cargo test` succeed with no
+//! network access and every randomized workload replays bit-identically
+//! from its seed. `sdr-det` is the crate that makes that possible; it
+//! replaces `rand`, `proptest`, and `criterion` with three small
+//! first-party modules:
+//!
+//! * [`rng`] — [`SplitMix64`] seeding + [`Xoshiro256pp`] generation
+//!   behind the minimal [`DetRng`] trait (`next_u64`, `gen_range`,
+//!   `gen_f64`, `gen_bool`, `shuffle`), plus
+//!   [`fork`](Xoshiro256pp::fork) for deriving independent substreams
+//!   from one master seed.
+//! * [`mod@prop`] — a property-testing harness: composable generators
+//!   ([`prop::u64s`], [`prop::f64_in`], [`prop::rects_in`],
+//!   [`prop::vecs_of`], ...), the [`prop!`](crate::prop!) declaration
+//!   macro, and greedy choice-stream shrinking on failure.
+//! * [`mod@bench`] — a wall-clock bench timer (warmup, calibrated batches,
+//!   min/median/p99 report) behind the [`bench_main!`](crate::bench_main!)
+//!   macro.
+//!
+//! ## Example
+//!
+//! ```
+//! use sdr_det::{DetRng, Rng};
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let x = rng.gen_range(0.0..1.0);
+//! assert!((0.0..1.0).contains(&x));
+//!
+//! // Independent substreams from one seed:
+//! let mut extents = rng.fork(1);
+//! let mut centers = rng.fork(2);
+//! assert_ne!(extents.next_u64(), centers.next_u64());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use rng::{bounded, DetRng, Rng, SampleRange, SplitMix64, Xoshiro256pp};

@@ -1,0 +1,600 @@
+//! A small property-testing harness with shrinking.
+//!
+//! Drop-in replacement for the workspace's previous `proptest!` call
+//! sites, built on the *choice stream* idea (as in Hypothesis): a
+//! generator is a function from a [`Source`] of raw `u64` draws to a
+//! value. While exploring, the source draws from a seeded
+//! [`Xoshiro256pp`] and records every choice; when a case fails, the
+//! harness shrinks the *recorded choice list* (truncate, zero, halve,
+//! decrement) and replays the generator over the mutated list. Because
+//! shrinking happens below the generators, every combinator — `map`,
+//! `vecs_of`, `one_of` — shrinks for free, and primitives are designed
+//! so that smaller choices mean simpler values (ranges shrink toward
+//! their start, `one_of` toward its first alternative, vectors toward
+//! empty).
+//!
+//! Failures replay exactly: every suite runs from a fixed default seed,
+//! overridable with `SDR_PROP_SEED`; the case count defaults to 128
+//! (≥ 100 everywhere) and is overridable with `SDR_PROP_CASES`.
+//!
+//! # Writing a property test
+//!
+//! ```
+//! use sdr_det::prop::{check, f64_in, Gen};
+//!
+//! fn arb_pair() -> Gen<(f64, f64)> {
+//!     f64_in(0.0, 10.0).zip(f64_in(0.0, 10.0))
+//! }
+//!
+//! // In a test module this is usually written with the `prop!` macro:
+//! //     sdr_det::prop! {
+//! //         fn addition_commutes(p in arb_pair()) { ... }
+//! //     }
+//! check("addition_commutes", |src, _repr| {
+//!     let (a, b) = arb_pair().generate(src);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use crate::rng::{DetRng, Xoshiro256pp};
+use sdr_geom::{Point, Rect};
+use std::cell::Cell;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::Once;
+
+/// The fixed default seed every property suite starts from, so a failure
+/// reported on one machine replays exactly on another.
+pub const DEFAULT_SEED: u64 = 0x5D_27EE_2007;
+
+// ------------------------------------------------------------- source --
+
+/// A stream of raw `u64` choices feeding the generators.
+///
+/// In exploration mode the choices come from an RNG; in replay mode they
+/// come from a recorded (possibly mutated) list, padded with zeros when
+/// the generators ask for more than was recorded.
+pub struct Source<'a> {
+    replay: Vec<u64>,
+    pos: usize,
+    rng: Option<&'a mut Xoshiro256pp>,
+    record: Vec<u64>,
+}
+
+impl<'a> Source<'a> {
+    /// An exploring source drawing fresh choices from `rng`.
+    pub fn random(rng: &'a mut Xoshiro256pp) -> Source<'a> {
+        Source {
+            replay: Vec::new(),
+            pos: 0,
+            rng: Some(rng),
+            record: Vec::new(),
+        }
+    }
+
+    /// A replaying source serving `choices`, then zeros.
+    pub fn replay(choices: Vec<u64>) -> Source<'static> {
+        Source {
+            replay: choices,
+            pos: 0,
+            rng: None,
+            record: Vec::new(),
+        }
+    }
+
+    /// Draws the next raw choice.
+    pub fn draw(&mut self) -> u64 {
+        let v = if self.pos < self.replay.len() {
+            self.replay[self.pos]
+        } else if let Some(rng) = self.rng.as_mut() {
+            rng.next_u64()
+        } else {
+            0
+        };
+        self.pos += 1;
+        self.record.push(v);
+        v
+    }
+
+    /// The choices drawn so far.
+    pub fn recorded(&self) -> &[u64] {
+        &self.record
+    }
+}
+
+impl DetRng for Source<'_> {
+    fn next_u64(&mut self) -> u64 {
+        self.draw()
+    }
+}
+
+// --------------------------------------------------------- generators --
+
+/// A composable value generator: a function from a choice [`Source`] to
+/// a value. Cheap to clone (the closure is reference-counted).
+pub struct Gen<T> {
+    f: Rc<dyn Fn(&mut Source) -> T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen { f: self.f.clone() }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Wraps a raw generator function.
+    pub fn from_fn(f: impl Fn(&mut Source) -> T + 'static) -> Gen<T> {
+        Gen { f: Rc::new(f) }
+    }
+
+    /// Produces one value.
+    pub fn generate(&self, src: &mut Source) -> T {
+        (self.f)(src)
+    }
+
+    /// Maps the generated value. Shrinking passes through: the
+    /// underlying choices shrink, and the map re-applies.
+    pub fn map<U: 'static>(self, g: impl Fn(T) -> U + 'static) -> Gen<U> {
+        Gen::from_fn(move |src| g(self.generate(src)))
+    }
+
+    /// Pairs two generators.
+    pub fn zip<U: 'static>(self, other: Gen<U>) -> Gen<(T, U)> {
+        Gen::from_fn(move |src| (self.generate(src), other.generate(src)))
+    }
+}
+
+/// Constant generator (draws nothing).
+pub fn just<T: Clone + 'static>(v: T) -> Gen<T> {
+    Gen::from_fn(move |_| v.clone())
+}
+
+/// Any `u64` (shrinks toward 0).
+pub fn u64s() -> Gen<u64> {
+    Gen::from_fn(|src| src.draw())
+}
+
+/// Any `u32` (shrinks toward 0).
+pub fn u32s() -> Gen<u32> {
+    Gen::from_fn(|src| src.draw() as u32)
+}
+
+/// Booleans (shrink toward `false`).
+pub fn bools() -> Gen<bool> {
+    Gen::from_fn(|src| src.draw() & 1 == 1)
+}
+
+/// Uniform `usize` in `[range.start, range.end)`, shrinking toward the
+/// start.
+pub fn usize_in(range: Range<usize>) -> Gen<usize> {
+    assert!(range.start < range.end, "empty range");
+    let (lo, span) = (range.start, (range.end - range.start) as u64);
+    Gen::from_fn(move |src| lo + (src.draw() % span) as usize)
+}
+
+/// Uniform `u32` in `[range.start, range.end)`, shrinking toward the
+/// start.
+pub fn u32_in(range: Range<u32>) -> Gen<u32> {
+    assert!(range.start < range.end, "empty range");
+    let (lo, span) = (range.start, (range.end - range.start) as u64);
+    Gen::from_fn(move |src| lo + (src.draw() % span) as u32)
+}
+
+/// Uniform `f64` in `[lo, hi)`, shrinking toward `lo`.
+pub fn f64_in(lo: f64, hi: f64) -> Gen<f64> {
+    assert!(lo < hi, "empty range");
+    Gen::from_fn(move |src| {
+        let unit = (src.draw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = lo + unit * (hi - lo);
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    })
+}
+
+/// Rectangles with their lower-left corner in `x × y` and per-axis
+/// extents in `[0, wmax) × [0, hmax)`. Shrinks toward the degenerate
+/// rectangle at `(x.start, y.start)`.
+pub fn rects_in(x: Range<f64>, y: Range<f64>, wmax: f64, hmax: f64) -> Gen<Rect> {
+    let (gx, gy) = (f64_in(x.start, x.end), f64_in(y.start, y.end));
+    let (gw, gh) = (f64_in(0.0, wmax), f64_in(0.0, hmax));
+    Gen::from_fn(move |src| {
+        let (x, y) = (gx.generate(src), gy.generate(src));
+        let (w, h) = (gw.generate(src), gh.generate(src));
+        Rect::new(x, y, x + w, y + h)
+    })
+}
+
+/// Points in `x × y`, shrinking toward `(x.start, y.start)`.
+pub fn points_in(x: Range<f64>, y: Range<f64>) -> Gen<Point> {
+    let (gx, gy) = (f64_in(x.start, x.end), f64_in(y.start, y.end));
+    Gen::from_fn(move |src| Point::new(gx.generate(src), gy.generate(src)))
+}
+
+/// Vectors of `len` elements drawn from `g`, with `len` uniform in the
+/// given range. Shrinks toward shorter vectors of simpler elements.
+pub fn vecs_of<T: 'static>(g: Gen<T>, len: Range<usize>) -> Gen<Vec<T>> {
+    assert!(len.start < len.end, "empty length range");
+    let glen = usize_in(len);
+    Gen::from_fn(move |src| {
+        let n = glen.generate(src);
+        (0..n).map(|_| g.generate(src)).collect()
+    })
+}
+
+/// `None` or `Some` (shrinks toward `None`).
+pub fn option_of<T: 'static>(g: Gen<T>) -> Gen<Option<T>> {
+    Gen::from_fn(move |src| {
+        if src.draw() & 1 == 1 {
+            Some(g.generate(src))
+        } else {
+            None
+        }
+    })
+}
+
+/// Uniform choice among alternatives (shrinks toward the first).
+pub fn one_of<T: 'static>(gens: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!gens.is_empty(), "one_of needs at least one alternative");
+    Gen::from_fn(move |src| {
+        let i = (src.draw() % gens.len() as u64) as usize;
+        gens[i].generate(src)
+    })
+}
+
+/// Weighted choice among alternatives (shrinks toward the first) — the
+/// analogue of `prop_oneof![w1 => g1, ...]`.
+pub fn freq<T: 'static>(pairs: Vec<(u32, Gen<T>)>) -> Gen<T> {
+    let total: u64 = pairs.iter().map(|(w, _)| *w as u64).sum();
+    assert!(total > 0, "freq needs positive total weight");
+    Gen::from_fn(move |src| {
+        let mut roll = src.draw() % total;
+        for (w, g) in &pairs {
+            if roll < *w as u64 {
+                return g.generate(src);
+            }
+            roll -= *w as u64;
+        }
+        unreachable!("roll < total by construction")
+    })
+}
+
+// ------------------------------------------------------------- runner --
+
+/// Runner configuration. `Default` reads `SDR_PROP_CASES` /
+/// `SDR_PROP_SEED` from the environment, falling back to 128 cases from
+/// [`DEFAULT_SEED`].
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of cases to run.
+    pub cases: usize,
+    /// Master seed; case `i` runs on `fork(i)` of it.
+    pub seed: u64,
+    /// Attempt budget for the shrinking loop.
+    pub max_shrink_iters: usize,
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: env_u64("SDR_PROP_CASES").map(|n| n as usize).unwrap_or(128),
+            seed: env_u64("SDR_PROP_SEED").unwrap_or(DEFAULT_SEED),
+            max_shrink_iters: 4096,
+        }
+    }
+}
+
+impl Config {
+    /// Overrides the case count unless `SDR_PROP_CASES` is set (the
+    /// environment always wins, so a CI job can crank every suite up or
+    /// down uniformly).
+    pub fn with_cases(mut self, cases: usize) -> Self {
+        if std::env::var_os("SDR_PROP_CASES").is_none() {
+            self.cases = cases;
+        }
+        self
+    }
+}
+
+thread_local! {
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+static INSTALL_HOOK: Once = Once::new();
+
+/// Routes panic *messages* from property execution to /dev/null (the
+/// panics themselves still propagate): shrinking deliberately re-panics
+/// the property dozens of times, and the default hook would spray each
+/// one onto stderr. Thread-local gating keeps other tests' panics loud.
+fn install_quiet_hook() {
+    INSTALL_HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs the property once over `src`; `Err((input_repr, panic_msg))` on
+/// failure.
+fn run_once<F>(f: &F, src: &mut Source) -> Result<(), (String, String)>
+where
+    F: Fn(&mut Source, &mut String),
+{
+    let mut repr = String::new();
+    QUIET.with(|q| q.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(src, &mut repr)));
+    QUIET.with(|q| q.set(false));
+    outcome.map_err(|p| (repr, panic_message(p)))
+}
+
+/// Candidate simplifications of a failing choice list, in decreasing
+/// order of ambition: drop the tail, then zero / halve / decrement
+/// individual choices. Every candidate is strictly smaller under the
+/// (length, element-wise) measure, so greedy adoption terminates.
+fn shrink_candidates(best: &[u64]) -> Vec<Vec<u64>> {
+    let mut out = Vec::new();
+    let n = best.len();
+    if n > 0 {
+        out.push(best[..n / 2].to_vec());
+        out.push(best[..n - 1].to_vec());
+    }
+    for i in 0..n {
+        let v = best[i];
+        if v == 0 {
+            continue;
+        }
+        let mut zeroed = best.to_vec();
+        zeroed[i] = 0;
+        out.push(zeroed);
+        if v > 1 {
+            let mut halved = best.to_vec();
+            halved[i] = v / 2;
+            out.push(halved);
+        }
+        let mut dec = best.to_vec();
+        dec[i] = v - 1;
+        out.push(dec);
+    }
+    out
+}
+
+/// Greedily shrinks a failing choice list. Returns the simplest failing
+/// input's repr, its panic message, and the number of successful
+/// shrink steps.
+fn shrink<F>(
+    f: &F,
+    mut best: Vec<u64>,
+    mut best_repr: String,
+    mut best_msg: String,
+    budget: usize,
+) -> (String, String, usize)
+where
+    F: Fn(&mut Source, &mut String),
+{
+    let mut iters = 0usize;
+    let mut steps = 0usize;
+    'outer: loop {
+        for cand in shrink_candidates(&best) {
+            if iters >= budget {
+                break 'outer;
+            }
+            iters += 1;
+            let mut src = Source::replay(cand.clone());
+            if let Err((repr, msg)) = run_once(f, &mut src) {
+                best = cand;
+                best_repr = repr;
+                best_msg = msg;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (best_repr, best_msg, steps)
+}
+
+/// Runs a property under the default [`Config`]. Prefer the [`prop!`]
+/// macro, which generates the argument plumbing.
+///
+/// The property receives a choice [`Source`] to generate its inputs from
+/// and a `String` to record their debug representation in (shown on
+/// failure); it signals failure by panicking (any `assert!` works).
+///
+/// [`prop!`]: crate::prop!
+pub fn check<F>(name: &str, f: F)
+where
+    F: Fn(&mut Source, &mut String),
+{
+    check_with(Config::default(), name, f)
+}
+
+/// [`check`] with an explicit configuration.
+pub fn check_with<F>(cfg: Config, name: &str, f: F)
+where
+    F: Fn(&mut Source, &mut String),
+{
+    install_quiet_hook();
+    let master = Xoshiro256pp::seed_from_u64(cfg.seed);
+    for case in 0..cfg.cases {
+        let mut rng = master.fork(case as u64);
+        let mut src = Source::random(&mut rng);
+        if let Err((repr, msg)) = run_once(&f, &mut src) {
+            let record = src.record.clone();
+            let (repr, msg, steps) = shrink(&f, record, repr, msg, cfg.max_shrink_iters);
+            panic!(
+                "property `{name}` failed at case {case}/{cases} \
+                 (seed {seed:#x}, {steps} shrink steps)\nminimal failing input:\n{repr}\
+                 assertion: {msg}\nreplay with SDR_PROP_SEED={seed}",
+                cases = cfg.cases,
+                seed = cfg.seed,
+            );
+        }
+    }
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// sdr_det::prop! {
+///     fn union_commutes(a in arb_rect(), b in arb_rect()) {
+///         assert_eq!(a.union(&b), b.union(&a));
+///     }
+///     // Heavy properties can lower the case count (≥ the env override):
+///     fn big_simulation(cases = 100; ops in arb_ops()) { /* ... */ }
+/// }
+/// ```
+///
+/// Each declaration expands to a `#[test]` running [`check`] /
+/// [`check_with`]; on failure the shrunk arguments and the replay seed
+/// are part of the panic message.
+#[macro_export]
+macro_rules! prop {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident(cases = $cases:expr; $($arg:ident in $gen:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            $crate::prop::check_with(
+                $crate::prop::Config::default().with_cases($cases),
+                stringify!($name),
+                |__src, __repr| {
+                    $(let $arg = ($gen).generate(__src);)+
+                    {
+                        use ::std::fmt::Write as _;
+                        $(let _ = ::std::writeln!(
+                            __repr, concat!("  ", stringify!($arg), " = {:?}"), &$arg);)+
+                    }
+                    $body
+                },
+            );
+        }
+        $crate::prop! { $($rest)* }
+    };
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $gen:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::prop! {
+            $(#[$meta])*
+            fn $name(cases = $crate::prop::Config::default().cases; $($arg in $gen),+) $body
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let gen = vecs_of(f64_in(0.0, 1.0), 0..10);
+        let run = |seed: u64| {
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
+            let mut src = Source::random(&mut rng);
+            gen.generate(&mut src)
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn replay_reproduces_recorded_values() {
+        let gen = vecs_of(u64s(), 1..20);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut src = Source::random(&mut rng);
+        let v1 = gen.generate(&mut src);
+        let mut replay = Source::replay(src.recorded().to_vec());
+        let v2 = gen.generate(&mut replay);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn passing_property_passes() {
+        check("tautology", |src, _| {
+            let v = usize_in(0..100).generate(src);
+            assert!(v < 100);
+        });
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_counterexample() {
+        let outcome = std::panic::catch_unwind(|| {
+            check("find_42", |src, repr| {
+                let v = usize_in(0..1000).generate(src);
+                repr.push_str(&format!("  v = {v}\n"));
+                // Fails for every v >= 42; minimal counterexample is 42.
+                assert!(v < 42, "v too big");
+            });
+        });
+        let msg = panic_message(outcome.expect_err("property must fail"));
+        assert!(
+            msg.contains("v = 42"),
+            "expected shrink to the boundary, got:\n{msg}"
+        );
+        assert!(msg.contains("SDR_PROP_SEED"), "must tell how to replay");
+    }
+
+    #[test]
+    fn vec_shrinking_reaches_short_vectors() {
+        let outcome = std::panic::catch_unwind(|| {
+            check("short_vec", |src, repr| {
+                let v = vecs_of(usize_in(0..10), 0..50).generate(src);
+                repr.push_str(&format!("  v = {v:?}\n"));
+                assert!(v.len() < 3, "long");
+            });
+        });
+        let msg = panic_message(outcome.expect_err("property must fail"));
+        // Greedy truncation must get from ~dozens down to exactly 3
+        // simplest elements.
+        assert!(
+            msg.contains("v = [0, 0, 0]"),
+            "expected [0, 0, 0], got:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn freq_honors_weights_roughly() {
+        let gen = freq(vec![(9, just(true)), (1, just(false))]);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let mut src = Source::random(&mut rng);
+        let hits = (0..5_000).filter(|_| gen.generate(&mut src)).count();
+        assert!((4_200..4_800).contains(&hits), "got {hits}");
+    }
+
+    prop! {
+        fn macro_generated_test_runs(a in f64_in(0.0, 1.0), b in f64_in(0.0, 1.0)) {
+            assert!((0.0..1.0).contains(&a) && (0.0..1.0).contains(&b));
+        }
+
+        fn macro_with_cases(cases = 17; n in usize_in(0..5)) {
+            assert!(n < 5);
+        }
+    }
+}

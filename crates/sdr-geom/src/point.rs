@@ -5,7 +5,6 @@ use crate::Coord;
 /// Points are used as query arguments (point queries, kNN centers) and as
 /// rectangle corners. They are plain `Copy` data.
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Point {
     /// Horizontal coordinate.
     pub x: Coord,

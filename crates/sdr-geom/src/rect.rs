@@ -7,7 +7,6 @@ use crate::{Coord, Point};
 /// (zero width and/or height) are legal — they are the mbbs of points and
 /// segments.
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rect {
     /// Smallest x coordinate.
     pub xmin: Coord,

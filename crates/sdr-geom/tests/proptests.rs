@@ -1,123 +1,103 @@
 //! Property-based tests of the geometry kernel's algebraic laws.
 
-use proptest::prelude::*;
+use sdr_det::prop::{points_in, rects_in, vecs_of, Gen};
 use sdr_geom::{Point, Rect};
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (
-        -100.0f64..100.0,
-        -100.0f64..100.0,
-        0.0f64..50.0,
-        0.0f64..50.0,
-    )
-        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+fn arb_rect() -> Gen<Rect> {
+    rects_in(-100.0..100.0, -100.0..100.0, 50.0, 50.0)
 }
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-150.0f64..150.0, -150.0f64..150.0).prop_map(|(x, y)| Point::new(x, y))
+fn arb_point() -> Gen<Point> {
+    points_in(-150.0..150.0, -150.0..150.0)
 }
 
-proptest! {
-    #[test]
+sdr_det::prop! {
     fn union_is_commutative(a in arb_rect(), b in arb_rect()) {
-        prop_assert_eq!(a.union(&b), b.union(&a));
+        assert_eq!(a.union(&b), b.union(&a));
     }
 
-    #[test]
     fn union_is_associative(a in arb_rect(), b in arb_rect(), c in arb_rect()) {
-        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
     }
 
-    #[test]
     fn union_is_idempotent_and_covering(a in arb_rect(), b in arb_rect()) {
         let u = a.union(&b);
-        prop_assert!(u.contains(&a));
-        prop_assert!(u.contains(&b));
-        prop_assert_eq!(a.union(&a), a);
+        assert!(u.contains(&a));
+        assert!(u.contains(&b));
+        assert_eq!(a.union(&a), a);
     }
 
-    #[test]
     fn union_area_at_least_max(a in arb_rect(), b in arb_rect()) {
         let u = a.union(&b);
-        prop_assert!(u.area() >= a.area().max(b.area()));
+        assert!(u.area() >= a.area().max(b.area()));
     }
 
-    #[test]
     fn intersection_contained_in_both(a in arb_rect(), b in arb_rect()) {
         if let Some(i) = a.intersection(&b) {
-            prop_assert!(a.contains(&i));
-            prop_assert!(b.contains(&i));
-            prop_assert!(a.intersects(&b));
+            assert!(a.contains(&i));
+            assert!(b.contains(&i));
+            assert!(a.intersects(&b));
         } else {
-            prop_assert!(!a.intersects(&b));
+            assert!(!a.intersects(&b));
         }
     }
 
-    #[test]
     fn overlap_area_matches_intersection(a in arb_rect(), b in arb_rect()) {
         let via_intersection = a.intersection(&b).map_or(0.0, |i| i.area());
-        prop_assert!((a.overlap_area(&b) - via_intersection).abs() < 1e-9);
+        assert!((a.overlap_area(&b) - via_intersection).abs() < 1e-9);
     }
 
-    #[test]
     fn containment_is_transitive(a in arb_rect(), b in arb_rect(), c in arb_rect()) {
         if a.contains(&b) && b.contains(&c) {
-            prop_assert!(a.contains(&c));
+            assert!(a.contains(&c));
         }
     }
 
-    #[test]
     fn contains_implies_zero_enlargement(a in arb_rect(), b in arb_rect()) {
         if a.contains(&b) {
-            prop_assert_eq!(a.enlargement(&b), 0.0);
+            assert_eq!(a.enlargement(&b), 0.0);
         } else {
-            prop_assert!(a.enlargement(&b) >= 0.0);
+            assert!(a.enlargement(&b) >= 0.0);
         }
     }
 
-    #[test]
     fn point_in_rect_iff_zero_min_dist(r in arb_rect(), p in arb_point()) {
         if r.contains_point(&p) {
-            prop_assert_eq!(r.min_dist2(&p), 0.0);
+            assert_eq!(r.min_dist2(&p), 0.0);
         } else {
-            prop_assert!(r.min_dist2(&p) > 0.0);
+            assert!(r.min_dist2(&p) > 0.0);
         }
     }
 
-    #[test]
     fn min_dist_rect_zero_iff_intersects(a in arb_rect(), b in arb_rect()) {
         if a.intersects(&b) {
-            prop_assert_eq!(a.min_dist2_rect(&b), 0.0);
+            assert_eq!(a.min_dist2_rect(&b), 0.0);
         } else {
-            prop_assert!(a.min_dist2_rect(&b) > 0.0);
+            assert!(a.min_dist2_rect(&b) > 0.0);
         }
     }
 
-    #[test]
     fn min_dist_rect_lower_bounds_point_dist(a in arb_rect(), p in arb_point()) {
         // The rect-to-rect distance to a degenerate rect equals the
         // rect-to-point distance.
         let pr = Rect::from_point(p);
-        prop_assert!((a.min_dist2_rect(&pr) - a.min_dist2(&p)).abs() < 1e-9);
+        assert!((a.min_dist2_rect(&pr) - a.min_dist2(&p)).abs() < 1e-9);
     }
 
-    #[test]
-    fn mbb_contains_all(rects in proptest::collection::vec(arb_rect(), 1..20)) {
+    fn mbb_contains_all(rects in vecs_of(arb_rect(), 1..20)) {
         let m = Rect::mbb(rects.iter()).unwrap();
         for r in &rects {
-            prop_assert!(m.contains(r));
+            assert!(m.contains(r));
         }
     }
 
-    #[test]
     fn margin_and_area_nonnegative(a in arb_rect()) {
-        prop_assert!(a.area() >= 0.0);
-        prop_assert!(a.margin() >= 0.0);
-        prop_assert!(a.xmin <= a.xmax && a.ymin <= a.ymax);
+        assert!(a.area() >= 0.0);
+        assert!(a.margin() >= 0.0);
+        assert!(a.xmin <= a.xmax && a.ymin <= a.ymax);
     }
 
-    #[test]
     fn center_is_inside(a in arb_rect()) {
-        prop_assert!(a.contains_point(&a.center()));
+        assert!(a.contains_point(&a.center()));
     }
 }

@@ -21,11 +21,11 @@ impl NetCluster {
     pub fn launch(config: SdrConfig) -> std::io::Result<NetCluster> {
         config.validate();
         let deployment = Arc::new(Deployment {
-            registry: parking_lot::RwLock::new(std::collections::HashMap::new()),
+            registry: std::sync::RwLock::new(std::collections::HashMap::new()),
             next_server: Arc::new(AtomicU32::new(1)),
             config,
             stop: Arc::new(AtomicBool::new(false)),
-            handle_lock: Arc::new(parking_lot::Mutex::new(())),
+            handle_lock: Arc::new(std::sync::Mutex::new(())),
             in_flight: Arc::new(std::sync::atomic::AtomicI64::new(0)),
         });
         spawn_node(deployment.clone(), ServerId(0))?;

@@ -7,7 +7,8 @@
 //! machine over real sockets:
 //!
 //! * [`wire`] — a compact, hand-rolled binary codec for every protocol
-//!   message (length-prefixed frames; no serialization framework).
+//!   message (length-prefixed frames; no serialization framework), over
+//!   the first-party [`buf`] byte cursors.
 //! * [`node`] — a thread-per-server TCP node: accepts frames, feeds them
 //!   to the embedded [`sdr_core::Server`], ships the outbox.
 //! * [`cluster`] — a process-local deployment manager that binds
@@ -43,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buf;
 pub mod client;
 pub mod cluster;
 pub mod node;

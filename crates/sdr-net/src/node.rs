@@ -12,8 +12,8 @@
 //! accept loop then runs on its own thread. This is the node-manager
 //! role a production deployment would delegate to its orchestrator.
 
+use crate::buf::ReadBuf;
 use crate::wire::{decode_message, encode_message};
-use bytes::Bytes;
 use sdr_core::msg::{Endpoint, Message};
 use sdr_core::{Allocator, Outbox, SdrConfig, Server, ServerId};
 use std::io::{Read, Write};
@@ -31,7 +31,7 @@ pub(crate) struct Deployment {
     /// A production deployment would get this from its node manager;
     /// OS-assigned ports make parallel deployments and rapid restarts
     /// collision-free (no fixed ranges, no `TIME_WAIT` interference).
-    pub registry: parking_lot::RwLock<std::collections::HashMap<Endpoint, u16>>,
+    pub registry: std::sync::RwLock<std::collections::HashMap<Endpoint, u16>>,
     /// Next server id — shared so concurrent splits never collide.
     pub next_server: Arc<AtomicU32>,
     pub config: SdrConfig,
@@ -49,7 +49,7 @@ pub(crate) struct Deployment {
     /// own evaluation assumes. Senders never block on receivers'
     /// processing (frames queue in the OS accept backlog), so the lock
     /// cannot deadlock.
-    pub handle_lock: Arc<parking_lot::Mutex<()>>,
+    pub handle_lock: Arc<std::sync::Mutex<()>>,
     /// Server-bound messages sent but not yet fully handled. Clients
     /// wait for this to reach zero between operations
     /// ([`crate::NetClient::quiesce`]), reproducing the simulator's
@@ -62,12 +62,19 @@ pub(crate) struct Deployment {
 impl Deployment {
     /// Registers an endpoint's port in the directory.
     pub fn register(&self, endpoint: Endpoint, port: u16) {
-        self.registry.write().insert(endpoint, port);
+        self.registry
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(endpoint, port);
     }
 
     /// Looks up an endpoint's port.
     pub fn lookup(&self, endpoint: Endpoint) -> Option<u16> {
-        self.registry.read().get(&endpoint).copied()
+        self.registry
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&endpoint)
+            .copied()
     }
 }
 
@@ -106,7 +113,10 @@ fn accept_loop(deployment: Arc<Deployment>, listener: TcpListener, mut server: S
 }
 
 fn handle_message(deployment: &Arc<Deployment>, server: &mut Server, msg: Message) {
-    let _serialized = deployment.handle_lock.lock();
+    let _serialized = deployment
+        .handle_lock
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
     if std::env::var_os("SDR_NET_TRACE").is_some() {
         eprintln!(
             "[{:?}] S{} <- {:?}: {}",
@@ -221,6 +231,5 @@ pub(crate) fn read_frame(mut stream: TcpStream) -> Option<Message> {
     }
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body).ok()?;
-    let mut bytes = Bytes::from(body);
-    decode_message(&mut bytes).ok()
+    decode_message(&mut ReadBuf::new(&body)).ok()
 }

@@ -5,10 +5,11 @@
 //! a straightforward tag-based scheme over `bytes`: fixed-width integers
 //! big-endian, `f64` as IEEE-754 bits, collections as `u32` count plus
 //! elements. No serialization framework is used — the codec is ~500
-//! lines of mechanical code with full round-trip property coverage,
-//! which keeps the dependency set small and the format auditable.
+//! lines of mechanical code over the first-party [`crate::buf`] cursors
+//! with full round-trip property coverage, which keeps the dependency
+//! set empty and the format auditable.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::buf::{ReadBuf, WriteBuf};
 use sdr_core::ids::{ClientId, NodeKind, NodeRef, Oid, QueryId, ServerId};
 use sdr_core::msg::{
     ClientOp, Endpoint, ImageHolder, Message, Payload, QueryKind, QueryMode, QueryMsg,
@@ -44,18 +45,18 @@ type Result<T> = std::result::Result<T, WireError>;
 // ------------------------------------------------------------ encoding --
 
 /// Encodes a message into a fresh frame (length prefix included).
-pub fn encode_message(msg: &Message) -> Bytes {
-    let mut body = BytesMut::with_capacity(256);
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut body = WriteBuf::with_capacity(256);
     put_endpoint(&mut body, &msg.from);
     put_endpoint(&mut body, &msg.to);
     put_payload(&mut body, &msg.payload);
-    let mut frame = BytesMut::with_capacity(body.len() + 4);
+    let mut frame = WriteBuf::with_capacity(body.len() + 4);
     frame.put_u32(body.len() as u32);
-    frame.extend_from_slice(&body);
-    frame.freeze()
+    frame.extend_from_slice(body.as_slice());
+    frame.into_vec()
 }
 
-fn put_endpoint(b: &mut BytesMut, e: &Endpoint) {
+fn put_endpoint(b: &mut WriteBuf, e: &Endpoint) {
     match e {
         Endpoint::Client(c) => {
             b.put_u8(0);
@@ -68,19 +69,19 @@ fn put_endpoint(b: &mut BytesMut, e: &Endpoint) {
     }
 }
 
-fn put_rect(b: &mut BytesMut, r: &Rect) {
+fn put_rect(b: &mut WriteBuf, r: &Rect) {
     b.put_f64(r.xmin);
     b.put_f64(r.ymin);
     b.put_f64(r.xmax);
     b.put_f64(r.ymax);
 }
 
-fn put_point(b: &mut BytesMut, p: &Point) {
+fn put_point(b: &mut WriteBuf, p: &Point) {
     b.put_f64(p.x);
     b.put_f64(p.y);
 }
 
-fn put_node_ref(b: &mut BytesMut, n: &NodeRef) {
+fn put_node_ref(b: &mut WriteBuf, n: &NodeRef) {
     b.put_u32(n.server.0);
     b.put_u8(match n.kind {
         NodeKind::Data => 0,
@@ -88,13 +89,13 @@ fn put_node_ref(b: &mut BytesMut, n: &NodeRef) {
     });
 }
 
-fn put_link(b: &mut BytesMut, l: &Link) {
+fn put_link(b: &mut WriteBuf, l: &Link) {
     put_node_ref(b, &l.node);
     put_rect(b, &l.dr);
     b.put_u32(l.height);
 }
 
-fn put_opt_rect(b: &mut BytesMut, r: &Option<Rect>) {
+fn put_opt_rect(b: &mut WriteBuf, r: &Option<Rect>) {
     match r {
         Some(r) => {
             b.put_u8(1);
@@ -104,7 +105,7 @@ fn put_opt_rect(b: &mut BytesMut, r: &Option<Rect>) {
     }
 }
 
-fn put_opt_u32(b: &mut BytesMut, v: &Option<u32>) {
+fn put_opt_u32(b: &mut WriteBuf, v: &Option<u32>) {
     match v {
         Some(v) => {
             b.put_u8(1);
@@ -114,26 +115,26 @@ fn put_opt_u32(b: &mut BytesMut, v: &Option<u32>) {
     }
 }
 
-fn put_object(b: &mut BytesMut, o: &Object) {
+fn put_object(b: &mut WriteBuf, o: &Object) {
     b.put_u64(o.oid.0);
     put_rect(b, &o.mbb);
 }
 
-fn put_objects(b: &mut BytesMut, os: &[Object]) {
+fn put_objects(b: &mut WriteBuf, os: &[Object]) {
     b.put_u32(os.len() as u32);
     for o in os {
         put_object(b, o);
     }
 }
 
-fn put_trace(b: &mut BytesMut, t: &[Link]) {
+fn put_trace(b: &mut WriteBuf, t: &[Link]) {
     b.put_u32(t.len() as u32);
     for l in t {
         put_link(b, l);
     }
 }
 
-fn put_oc_table(b: &mut BytesMut, t: &OcTable) {
+fn put_oc_table(b: &mut WriteBuf, t: &OcTable) {
     b.put_u32(t.len() as u32);
     for e in t.entries() {
         b.put_u32(e.ancestor.0);
@@ -142,7 +143,7 @@ fn put_oc_table(b: &mut BytesMut, t: &OcTable) {
     }
 }
 
-fn put_routing_node(b: &mut BytesMut, n: &RoutingNode) {
+fn put_routing_node(b: &mut WriteBuf, n: &RoutingNode) {
     b.put_u32(n.height);
     put_rect(b, &n.dr);
     put_link(b, &n.left);
@@ -151,7 +152,7 @@ fn put_routing_node(b: &mut BytesMut, n: &RoutingNode) {
     put_oc_table(b, &n.oc);
 }
 
-fn put_image_holder(b: &mut BytesMut, h: &ImageHolder) {
+fn put_image_holder(b: &mut WriteBuf, h: &ImageHolder) {
     match h {
         ImageHolder::Client(c) => {
             b.put_u8(0);
@@ -165,7 +166,7 @@ fn put_image_holder(b: &mut BytesMut, h: &ImageHolder) {
     }
 }
 
-fn put_query_kind(b: &mut BytesMut, q: &QueryKind) {
+fn put_query_kind(b: &mut WriteBuf, q: &QueryKind) {
     match q {
         QueryKind::Point(p) => {
             b.put_u8(0);
@@ -178,7 +179,7 @@ fn put_query_kind(b: &mut BytesMut, q: &QueryKind) {
     }
 }
 
-fn put_query_mode(b: &mut BytesMut, m: &QueryMode) {
+fn put_query_mode(b: &mut WriteBuf, m: &QueryMode) {
     b.put_u8(match m {
         QueryMode::Check => 0,
         QueryMode::Ascend => 1,
@@ -186,14 +187,14 @@ fn put_query_mode(b: &mut BytesMut, m: &QueryMode) {
     });
 }
 
-fn put_visited(b: &mut BytesMut, v: &[NodeRef]) {
+fn put_visited(b: &mut WriteBuf, v: &[NodeRef]) {
     b.put_u32(v.len() as u32);
     for n in v {
         put_node_ref(b, n);
     }
 }
 
-fn put_query_msg(b: &mut BytesMut, q: &QueryMsg) {
+fn put_query_msg(b: &mut WriteBuf, q: &QueryMsg) {
     put_node_ref(b, &q.target);
     put_query_kind(b, &q.query);
     put_rect(b, &q.region);
@@ -215,7 +216,7 @@ fn put_query_msg(b: &mut BytesMut, q: &QueryMsg) {
     put_trace(b, &q.trace);
 }
 
-fn put_client_op(b: &mut BytesMut, op: &ClientOp) {
+fn put_client_op(b: &mut WriteBuf, op: &ClientOp) {
     match op {
         ClientOp::Insert(o) => {
             b.put_u8(0);
@@ -239,7 +240,7 @@ fn put_client_op(b: &mut BytesMut, op: &ClientOp) {
     }
 }
 
-fn put_payload(b: &mut BytesMut, p: &Payload) {
+fn put_payload(b: &mut WriteBuf, p: &Payload) {
     match p {
         Payload::InsertAtLeaf {
             obj,
@@ -583,46 +584,34 @@ fn put_payload(b: &mut BytesMut, p: &Payload) {
 
 /// Decodes one message body (the length prefix must already have been
 /// consumed by the framing layer).
-pub fn decode_message(buf: &mut Bytes) -> Result<Message> {
+pub fn decode_message(buf: &mut ReadBuf<'_>) -> Result<Message> {
     let from = get_endpoint(buf)?;
     let to = get_endpoint(buf)?;
     let payload = get_payload(buf)?;
     Ok(Message { from, to, payload })
 }
 
-fn need(buf: &Bytes, n: usize) -> Result<()> {
-    if buf.remaining() < n {
-        Err(WireError::Truncated)
-    } else {
-        Ok(())
-    }
+fn get_u8(buf: &mut ReadBuf<'_>) -> Result<u8> {
+    buf.try_get_u8().ok_or(WireError::Truncated)
 }
 
-fn get_u8(buf: &mut Bytes) -> Result<u8> {
-    need(buf, 1)?;
-    Ok(buf.get_u8())
+fn get_u32(buf: &mut ReadBuf<'_>) -> Result<u32> {
+    buf.try_get_u32().ok_or(WireError::Truncated)
 }
 
-fn get_u32(buf: &mut Bytes) -> Result<u32> {
-    need(buf, 4)?;
-    Ok(buf.get_u32())
+fn get_u64(buf: &mut ReadBuf<'_>) -> Result<u64> {
+    buf.try_get_u64().ok_or(WireError::Truncated)
 }
 
-fn get_u64(buf: &mut Bytes) -> Result<u64> {
-    need(buf, 8)?;
-    Ok(buf.get_u64())
+fn get_f64(buf: &mut ReadBuf<'_>) -> Result<f64> {
+    buf.try_get_f64().ok_or(WireError::Truncated)
 }
 
-fn get_f64(buf: &mut Bytes) -> Result<f64> {
-    need(buf, 8)?;
-    Ok(buf.get_f64())
-}
-
-fn get_bool(buf: &mut Bytes) -> Result<bool> {
+fn get_bool(buf: &mut ReadBuf<'_>) -> Result<bool> {
     Ok(get_u8(buf)? != 0)
 }
 
-fn get_endpoint(buf: &mut Bytes) -> Result<Endpoint> {
+fn get_endpoint(buf: &mut ReadBuf<'_>) -> Result<Endpoint> {
     match get_u8(buf)? {
         0 => Ok(Endpoint::Client(ClientId(get_u32(buf)?))),
         1 => Ok(Endpoint::Server(ServerId(get_u32(buf)?))),
@@ -630,7 +619,7 @@ fn get_endpoint(buf: &mut Bytes) -> Result<Endpoint> {
     }
 }
 
-fn get_rect(buf: &mut Bytes) -> Result<Rect> {
+fn get_rect(buf: &mut ReadBuf<'_>) -> Result<Rect> {
     Ok(Rect {
         xmin: get_f64(buf)?,
         ymin: get_f64(buf)?,
@@ -639,11 +628,11 @@ fn get_rect(buf: &mut Bytes) -> Result<Rect> {
     })
 }
 
-fn get_point(buf: &mut Bytes) -> Result<Point> {
+fn get_point(buf: &mut ReadBuf<'_>) -> Result<Point> {
     Ok(Point::new(get_f64(buf)?, get_f64(buf)?))
 }
 
-fn get_node_ref(buf: &mut Bytes) -> Result<NodeRef> {
+fn get_node_ref(buf: &mut ReadBuf<'_>) -> Result<NodeRef> {
     let server = ServerId(get_u32(buf)?);
     let kind = match get_u8(buf)? {
         0 => NodeKind::Data,
@@ -653,7 +642,7 @@ fn get_node_ref(buf: &mut Bytes) -> Result<NodeRef> {
     Ok(NodeRef { server, kind })
 }
 
-fn get_link(buf: &mut Bytes) -> Result<Link> {
+fn get_link(buf: &mut ReadBuf<'_>) -> Result<Link> {
     Ok(Link {
         node: get_node_ref(buf)?,
         dr: get_rect(buf)?,
@@ -661,7 +650,7 @@ fn get_link(buf: &mut Bytes) -> Result<Link> {
     })
 }
 
-fn get_opt_rect(buf: &mut Bytes) -> Result<Option<Rect>> {
+fn get_opt_rect(buf: &mut ReadBuf<'_>) -> Result<Option<Rect>> {
     Ok(if get_bool(buf)? {
         Some(get_rect(buf)?)
     } else {
@@ -669,7 +658,7 @@ fn get_opt_rect(buf: &mut Bytes) -> Result<Option<Rect>> {
     })
 }
 
-fn get_opt_u32(buf: &mut Bytes) -> Result<Option<u32>> {
+fn get_opt_u32(buf: &mut ReadBuf<'_>) -> Result<Option<u32>> {
     Ok(if get_bool(buf)? {
         Some(get_u32(buf)?)
     } else {
@@ -677,11 +666,11 @@ fn get_opt_u32(buf: &mut Bytes) -> Result<Option<u32>> {
     })
 }
 
-fn get_object(buf: &mut Bytes) -> Result<Object> {
+fn get_object(buf: &mut ReadBuf<'_>) -> Result<Object> {
     Ok(Object::new(Oid(get_u64(buf)?), get_rect(buf)?))
 }
 
-fn get_count(buf: &mut Bytes) -> Result<usize> {
+fn get_count(buf: &mut ReadBuf<'_>) -> Result<usize> {
     let n = get_u32(buf)? as usize;
     // Defensive bound: each element is at least one byte.
     if n > buf.remaining() {
@@ -690,17 +679,17 @@ fn get_count(buf: &mut Bytes) -> Result<usize> {
     Ok(n)
 }
 
-fn get_objects(buf: &mut Bytes) -> Result<Vec<Object>> {
+fn get_objects(buf: &mut ReadBuf<'_>) -> Result<Vec<Object>> {
     let n = get_count(buf)?;
     (0..n).map(|_| get_object(buf)).collect()
 }
 
-fn get_trace(buf: &mut Bytes) -> Result<Vec<Link>> {
+fn get_trace(buf: &mut ReadBuf<'_>) -> Result<Vec<Link>> {
     let n = get_count(buf)?;
     (0..n).map(|_| get_link(buf)).collect()
 }
 
-fn get_oc_table(buf: &mut Bytes) -> Result<OcTable> {
+fn get_oc_table(buf: &mut ReadBuf<'_>) -> Result<OcTable> {
     let n = get_count(buf)?;
     let entries = (0..n)
         .map(|_| {
@@ -714,7 +703,7 @@ fn get_oc_table(buf: &mut Bytes) -> Result<OcTable> {
     Ok(OcTable::from_entries(entries))
 }
 
-fn get_routing_node(buf: &mut Bytes) -> Result<RoutingNode> {
+fn get_routing_node(buf: &mut ReadBuf<'_>) -> Result<RoutingNode> {
     Ok(RoutingNode {
         height: get_u32(buf)?,
         dr: get_rect(buf)?,
@@ -725,7 +714,7 @@ fn get_routing_node(buf: &mut Bytes) -> Result<RoutingNode> {
     })
 }
 
-fn get_image_holder(buf: &mut Bytes) -> Result<ImageHolder> {
+fn get_image_holder(buf: &mut ReadBuf<'_>) -> Result<ImageHolder> {
     match get_u8(buf)? {
         0 => Ok(ImageHolder::Client(ClientId(get_u32(buf)?))),
         1 => Ok(ImageHolder::Server(ServerId(get_u32(buf)?))),
@@ -734,7 +723,7 @@ fn get_image_holder(buf: &mut Bytes) -> Result<ImageHolder> {
     }
 }
 
-fn get_query_kind(buf: &mut Bytes) -> Result<QueryKind> {
+fn get_query_kind(buf: &mut ReadBuf<'_>) -> Result<QueryKind> {
     match get_u8(buf)? {
         0 => Ok(QueryKind::Point(get_point(buf)?)),
         1 => Ok(QueryKind::Window(get_rect(buf)?)),
@@ -742,7 +731,7 @@ fn get_query_kind(buf: &mut Bytes) -> Result<QueryKind> {
     }
 }
 
-fn get_query_mode(buf: &mut Bytes) -> Result<QueryMode> {
+fn get_query_mode(buf: &mut ReadBuf<'_>) -> Result<QueryMode> {
     match get_u8(buf)? {
         0 => Ok(QueryMode::Check),
         1 => Ok(QueryMode::Ascend),
@@ -751,12 +740,12 @@ fn get_query_mode(buf: &mut Bytes) -> Result<QueryMode> {
     }
 }
 
-fn get_visited(buf: &mut Bytes) -> Result<Vec<NodeRef>> {
+fn get_visited(buf: &mut ReadBuf<'_>) -> Result<Vec<NodeRef>> {
     let n = get_count(buf)?;
     (0..n).map(|_| get_node_ref(buf)).collect()
 }
 
-fn get_query_msg(buf: &mut Bytes) -> Result<QueryMsg> {
+fn get_query_msg(buf: &mut ReadBuf<'_>) -> Result<QueryMsg> {
     Ok(QueryMsg {
         target: get_node_ref(buf)?,
         query: get_query_kind(buf)?,
@@ -781,7 +770,7 @@ fn get_query_msg(buf: &mut Bytes) -> Result<QueryMsg> {
     })
 }
 
-fn get_client_op(buf: &mut Bytes) -> Result<ClientOp> {
+fn get_client_op(buf: &mut ReadBuf<'_>) -> Result<ClientOp> {
     match get_u8(buf)? {
         0 => Ok(ClientOp::Insert(get_object(buf)?)),
         1 => Ok(ClientOp::Point(get_point(buf)?, QueryId(get_u64(buf)?))),
@@ -791,7 +780,7 @@ fn get_client_op(buf: &mut Bytes) -> Result<ClientOp> {
     }
 }
 
-fn get_payload(buf: &mut Bytes) -> Result<Payload> {
+fn get_payload(buf: &mut ReadBuf<'_>) -> Result<Payload> {
     let tag = get_u8(buf)?;
     Ok(match tag {
         0 => Payload::InsertAtLeaf {
@@ -992,7 +981,7 @@ mod tests {
 
     fn roundtrip(msg: Message) {
         let frame = encode_message(&msg);
-        let mut body = frame.slice(4..);
+        let mut body = ReadBuf::new(&frame[4..]);
         let decoded = decode_message(&mut body).expect("decode");
         assert_eq!(decoded, msg);
         assert_eq!(body.remaining(), 0, "trailing bytes after decode");
@@ -1231,7 +1220,7 @@ mod tests {
         };
         let frame = encode_message(&msg);
         for cut in 4..frame.len() - 1 {
-            let mut body = frame.slice(4..cut);
+            let mut body = ReadBuf::new(&frame[4..cut]);
             assert!(
                 decode_message(&mut body).is_err(),
                 "cut at {cut} should fail"
@@ -1241,7 +1230,7 @@ mod tests {
 
     #[test]
     fn bad_tag_errors() {
-        let mut body = Bytes::from_static(&[9, 0, 0, 0, 0]);
+        let mut body = ReadBuf::new(&[9, 0, 0, 0, 0]);
         assert!(matches!(
             decode_message(&mut body),
             Err(WireError::BadTag("endpoint", 9))

@@ -2,8 +2,6 @@
 //! round-trip bit-exactly, and corrupted frames must fail cleanly
 //! (error, never panic).
 
-use bytes::Bytes;
-use proptest::prelude::*;
 use sdr_core::ids::{ClientId, NodeKind, NodeRef, Oid, QueryId, ServerId};
 use sdr_core::msg::{
     ClientOp, Endpoint, ImageHolder, Message, Payload, QueryKind, QueryMode, QueryMsg,
@@ -12,276 +10,267 @@ use sdr_core::msg::{
 use sdr_core::node::{Object, RoutingNode};
 use sdr_core::oc::{OcEntry, OcTable};
 use sdr_core::Link;
+use sdr_det::prop::{bools, f64_in, just, one_of, option_of, u32s, u64s, usize_in, vecs_of, Gen};
 use sdr_geom::{Point, Rect};
+use sdr_net::buf::ReadBuf;
 use sdr_net::{decode_message, encode_message};
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (-1e6f64..1e6, -1e6f64..1e6, 0.0f64..1e3, 0.0f64..1e3)
-        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+fn arb_rect() -> Gen<Rect> {
+    f64_in(-1e6, 1e6)
+        .zip(f64_in(-1e6, 1e6))
+        .zip(f64_in(0.0, 1e3).zip(f64_in(0.0, 1e3)))
+        .map(|((x, y), (w, h))| Rect::new(x, y, x + w, y + h))
 }
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-1e6f64..1e6, -1e6f64..1e6).prop_map(|(x, y)| Point::new(x, y))
+fn arb_point() -> Gen<Point> {
+    f64_in(-1e6, 1e6)
+        .zip(f64_in(-1e6, 1e6))
+        .map(|(x, y)| Point::new(x, y))
 }
 
-fn arb_node_ref() -> impl Strategy<Value = NodeRef> {
-    (any::<u32>(), any::<bool>()).prop_map(|(s, d)| NodeRef {
+fn arb_node_ref() -> Gen<NodeRef> {
+    u32s().zip(bools()).map(|(s, d)| NodeRef {
         server: ServerId(s),
         kind: if d { NodeKind::Data } else { NodeKind::Routing },
     })
 }
 
-fn arb_link() -> impl Strategy<Value = Link> {
-    (arb_node_ref(), arb_rect(), 0u32..64).prop_map(|(node, dr, height)| Link { node, dr, height })
+fn arb_link() -> Gen<Link> {
+    arb_node_ref()
+        .zip(arb_rect().zip(u32s().map(|h| h % 64)))
+        .map(|(node, (dr, height))| Link { node, dr, height })
 }
 
-fn arb_object() -> impl Strategy<Value = Object> {
-    (any::<u64>(), arb_rect()).prop_map(|(oid, r)| Object::new(Oid(oid), r))
+fn arb_object() -> Gen<Object> {
+    u64s()
+        .zip(arb_rect())
+        .map(|(oid, r)| Object::new(Oid(oid), r))
 }
 
-fn arb_oc_table() -> impl Strategy<Value = OcTable> {
-    proptest::collection::vec(
-        (any::<u32>(), arb_link(), arb_rect()).prop_map(|(a, outer, rect)| OcEntry {
-            ancestor: ServerId(a),
-            outer,
-            rect,
-        }),
+fn arb_oc_table() -> Gen<OcTable> {
+    vecs_of(
+        u32s()
+            .zip(arb_link().zip(arb_rect()))
+            .map(|(a, (outer, rect))| OcEntry {
+                ancestor: ServerId(a),
+                outer,
+                rect,
+            }),
         0..6,
     )
-    .prop_map(OcTable::from_entries)
+    .map(OcTable::from_entries)
 }
 
-fn arb_routing_node() -> impl Strategy<Value = RoutingNode> {
-    (
-        0u32..64,
-        arb_rect(),
-        arb_link(),
-        arb_link(),
-        proptest::option::of(any::<u32>()),
-        arb_oc_table(),
-    )
-        .prop_map(|(height, dr, left, right, parent, oc)| RoutingNode {
-            height,
-            dr,
-            left,
-            right,
-            parent: parent.map(ServerId),
-            oc,
-        })
-}
-
-fn arb_image_holder() -> impl Strategy<Value = ImageHolder> {
-    prop_oneof![
-        any::<u32>().prop_map(|c| ImageHolder::Client(ClientId(c))),
-        any::<u32>().prop_map(|s| ImageHolder::Server(ServerId(s))),
-        Just(ImageHolder::Nobody),
-    ]
-}
-
-fn arb_trace() -> impl Strategy<Value = Vec<Link>> {
-    proptest::collection::vec(arb_link(), 0..8)
-}
-
-fn arb_query_msg() -> impl Strategy<Value = QueryMsg> {
-    (
-        arb_node_ref(),
-        prop_oneof![
-            arb_point().prop_map(QueryKind::Point),
-            arb_rect().prop_map(QueryKind::Window)
-        ],
-        arb_rect(),
-        prop_oneof![
-            Just(QueryMode::Check),
-            Just(QueryMode::Ascend),
-            Just(QueryMode::Descend)
-        ],
-        any::<u64>(),
-        any::<bool>(),
-        (any::<bool>(), any::<bool>()),
-        proptest::collection::vec(arb_node_ref(), 0..5),
-        any::<u32>(),
-        arb_image_holder(),
-    )
-        .prop_flat_map(
-            |(target, query, region, mode, qid, initial, (repaired, carrier), visited, rt, iam)| {
-                (
-                    Just(QueryMsg {
-                        target,
-                        query,
-                        region,
-                        mode,
-                        qid: QueryId(qid),
-                        initial,
-                        repaired,
-                        iam_carrier: carrier,
-                        visited,
-                        results_to: ClientId(rt),
-                        iam_to: iam,
-                        protocol: ReplyProtocol::Direct,
-                        reply_via: None,
-                        parent_branch: 0,
-                        trace: vec![],
-                    }),
-                    prop_oneof![
-                        Just(ReplyProtocol::Direct),
-                        Just(ReplyProtocol::ReversePath),
-                        Just(ReplyProtocol::Probabilistic)
-                    ],
-                    proptest::option::of(any::<u32>()),
-                    any::<u64>(),
-                    arb_trace(),
-                )
+fn arb_routing_node() -> Gen<RoutingNode> {
+    u32s()
+        .map(|h| h % 64)
+        .zip(arb_rect())
+        .zip(arb_link().zip(arb_link()))
+        .zip(option_of(u32s()).zip(arb_oc_table()))
+        .map(
+            |(((height, dr), (left, right)), (parent, oc))| RoutingNode {
+                height,
+                dr,
+                left,
+                right,
+                parent: parent.map(ServerId),
+                oc,
             },
         )
-        .prop_map(|(mut q, protocol, via, branch, trace)| {
-            q.protocol = protocol;
-            q.reply_via = via.map(ServerId);
-            q.parent_branch = branch;
-            q.trace = trace;
-            q
-        })
 }
 
-fn arb_payload() -> impl Strategy<Value = Payload> {
-    prop_oneof![
-        (arb_object(), arb_trace(), arb_image_holder(), any::<bool>()).prop_map(
-            |(obj, trace, iam_to, initial)| Payload::InsertAtLeaf {
+fn arb_image_holder() -> Gen<ImageHolder> {
+    one_of(vec![
+        u32s().map(|c| ImageHolder::Client(ClientId(c))),
+        u32s().map(|s| ImageHolder::Server(ServerId(s))),
+        just(ImageHolder::Nobody),
+    ])
+}
+
+fn arb_trace() -> Gen<Vec<Link>> {
+    vecs_of(arb_link(), 0..8)
+}
+
+fn arb_query_msg() -> Gen<QueryMsg> {
+    let head = arb_node_ref()
+        .zip(one_of(vec![
+            arb_point().map(QueryKind::Point),
+            arb_rect().map(QueryKind::Window),
+        ]))
+        .zip(arb_rect().zip(one_of(vec![
+            just(QueryMode::Check),
+            just(QueryMode::Ascend),
+            just(QueryMode::Descend),
+        ])))
+        .zip(u64s().zip(bools()))
+        .zip(bools().zip(bools()))
+        .zip(vecs_of(arb_node_ref(), 0..5).zip(u32s()))
+        .zip(arb_image_holder());
+    let tail = one_of(vec![
+        just(ReplyProtocol::Direct),
+        just(ReplyProtocol::ReversePath),
+        just(ReplyProtocol::Probabilistic),
+    ])
+    .zip(option_of(u32s()))
+    .zip(u64s().zip(arb_trace()));
+    head.zip(tail).map(
+        |(
+            (
+                (
+                    ((((target, query), (region, mode)), (qid, initial)), (repaired, carrier)),
+                    (visited, rt),
+                ),
+                iam,
+            ),
+            ((protocol, via), (branch, trace)),
+        )| QueryMsg {
+            target,
+            query,
+            region,
+            mode,
+            qid: QueryId(qid),
+            initial,
+            repaired,
+            iam_carrier: carrier,
+            visited,
+            results_to: ClientId(rt),
+            iam_to: iam,
+            protocol,
+            reply_via: via.map(ServerId),
+            parent_branch: branch,
+            trace,
+        },
+    )
+}
+
+fn arb_payload() -> Gen<Payload> {
+    one_of(vec![
+        arb_object()
+            .zip(arb_trace())
+            .zip(arb_image_holder().zip(bools()))
+            .map(|((obj, trace), (iam_to, initial))| Payload::InsertAtLeaf {
                 obj,
                 trace,
                 iam_to,
-                initial
-            }
-        ),
-        (
-            arb_object(),
-            arb_oc_table(),
-            proptest::option::of(arb_rect()),
-            arb_trace(),
-            arb_image_holder()
-        )
-            .prop_map(
-                |(obj, oc_acc, new_dr, trace, iam_to)| Payload::InsertDescend {
+                initial,
+            }),
+        arb_object()
+            .zip(arb_oc_table())
+            .zip(option_of(arb_rect()).zip(arb_trace().zip(arb_image_holder())))
+            .map(
+                |((obj, oc_acc), (new_dr, (trace, iam_to)))| Payload::InsertDescend {
                     obj,
                     oc_acc,
                     new_dr,
                     trace,
-                    iam_to
-                }
+                    iam_to,
+                },
             ),
-        (
-            arb_routing_node(),
-            proptest::collection::vec(arb_object(), 0..10),
-            arb_rect(),
-            arb_oc_table()
-        )
-            .prop_map(
-                |(routing, objects, data_dr, data_oc)| Payload::SplitCreate {
+        arb_routing_node()
+            .zip(vecs_of(arb_object(), 0..10))
+            .zip(arb_rect().zip(arb_oc_table()))
+            .map(
+                |((routing, objects), (data_dr, data_oc))| Payload::SplitCreate {
                     routing,
                     objects,
                     data_dr,
-                    data_oc
-                }
+                    data_oc,
+                },
             ),
-        (
-            arb_link(),
-            (arb_link(), arb_link()),
-            proptest::option::of((arb_link(), arb_link()))
-        )
-            .prop_map(
-                |(child, children, tall_grandchildren)| Payload::AdjustHeight {
+        arb_link()
+            .zip(arb_link().zip(arb_link()))
+            .zip(option_of(arb_link().zip(arb_link())))
+            .map(
+                |((child, children), tall_grandchildren)| Payload::AdjustHeight {
                     child,
                     children,
-                    tall_grandchildren
-                }
+                    tall_grandchildren,
+                },
             ),
-        arb_query_msg().prop_map(Payload::Query),
-        (
-            any::<u64>(),
-            proptest::collection::vec(arb_object(), 0..10),
-            any::<u32>(),
-            arb_trace(),
-            proptest::option::of(any::<bool>())
-        )
-            .prop_map(
-                |(qid, results, spawned, trace, direct)| Payload::QueryReport {
+        arb_query_msg().map(Payload::Query),
+        u64s()
+            .zip(vecs_of(arb_object(), 0..10))
+            .zip(u32s().zip(arb_trace().zip(option_of(bools()))))
+            .map(
+                |((qid, results), (spawned, (trace, direct)))| Payload::QueryReport {
                     qid: QueryId(qid),
                     results,
                     spawned,
                     trace,
-                    direct
-                }
+                    direct,
+                },
             ),
-        (
-            arb_node_ref(),
-            proptest::collection::vec(arb_object(), 0..10)
-        )
-            .prop_map(|(child, objects)| Payload::Eliminate { child, objects }),
-        (arb_node_ref(), any::<u64>(), any::<u32>(), arb_trace()).prop_map(
-            |(target, qid, results_to, trace)| Payload::JoinStart {
+        arb_node_ref()
+            .zip(vecs_of(arb_object(), 0..10))
+            .map(|(child, objects)| Payload::Eliminate { child, objects }),
+        arb_node_ref().zip(u64s()).zip(u32s().zip(arb_trace())).map(
+            |((target, qid), (results_to, trace))| Payload::JoinStart {
                 target,
                 qid: QueryId(qid),
                 results_to: ClientId(results_to),
-                trace
-            }
+                trace,
+            },
         ),
-        (arb_point(), 0usize..100, any::<u64>(), any::<u32>()).prop_map(|(p, k, qid, rt)| {
-            Payload::KnnLocal {
+        arb_point()
+            .zip(usize_in(0..100))
+            .zip(u64s().zip(u32s()))
+            .map(|((p, k), (qid, rt))| Payload::KnnLocal {
                 p,
                 k,
                 qid: QueryId(qid),
                 results_to: ClientId(rt),
-            }
-        }),
-        (arb_object(), any::<u64>()).prop_map(|(o, qid)| Payload::Routed {
+            }),
+        arb_object().zip(u64s()).map(|(o, qid)| Payload::Routed {
             op: ClientOp::Delete(o, QueryId(qid)),
-            results_to: ClientId(3)
+            results_to: ClientId(3),
         }),
-    ]
+    ])
 }
 
-fn arb_endpoint() -> impl Strategy<Value = Endpoint> {
-    prop_oneof![
-        any::<u32>().prop_map(|c| Endpoint::Client(ClientId(c))),
-        any::<u32>().prop_map(|s| Endpoint::Server(ServerId(s))),
-    ]
+fn arb_endpoint() -> Gen<Endpoint> {
+    one_of(vec![
+        u32s().map(|c| Endpoint::Client(ClientId(c))),
+        u32s().map(|s| Endpoint::Server(ServerId(s))),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn messages_roundtrip(from in arb_endpoint(), to in arb_endpoint(), payload in arb_payload()) {
+sdr_det::prop! {
+    fn messages_roundtrip(
+        cases = 256;
+        from in arb_endpoint(),
+        to in arb_endpoint(),
+        payload in arb_payload(),
+    ) {
         let msg = Message { from, to, payload };
         let frame = encode_message(&msg);
         // Frame length prefix is consistent.
         let len = u32::from_be_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
-        prop_assert_eq!(len + 4, frame.len());
-        let mut body = frame.slice(4..);
+        assert_eq!(len + 4, frame.len());
+        let mut body = ReadBuf::new(&frame[4..]);
         let decoded = decode_message(&mut body).expect("decode");
-        prop_assert_eq!(decoded, msg);
-        prop_assert_eq!(body.len(), 0, "trailing bytes");
+        assert_eq!(decoded, msg);
+        assert_eq!(body.remaining(), 0, "trailing bytes");
     }
 
-    #[test]
     fn truncation_never_panics(
+        cases = 256;
         from in arb_endpoint(),
         to in arb_endpoint(),
         payload in arb_payload(),
-        cut_frac in 0.0f64..1.0,
+        cut_frac in f64_in(0.0, 1.0),
     ) {
         let msg = Message { from, to, payload };
         let frame = encode_message(&msg);
         let body_len = frame.len() - 4;
         let cut = 4 + ((body_len as f64) * cut_frac) as usize;
-        let mut body = frame.slice(4..cut);
+        let mut body = ReadBuf::new(&frame[4..cut]);
         // Must either fail or (if the cut happens to land at the end)
         // succeed — never panic.
         let _ = decode_message(&mut body);
     }
 
-    #[test]
-    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
-        let mut body = Bytes::from(bytes);
+    fn random_bytes_never_panic(cases = 256; bytes in vecs_of(u32s().map(|v| v as u8), 0..300)) {
+        let mut body = ReadBuf::new(&bytes);
         let _ = decode_message(&mut body);
     }
 }

@@ -2,7 +2,7 @@
 //! arbitrary sequences of inserts and deletes, for every split policy,
 //! and its structural invariants must hold throughout.
 
-use proptest::prelude::*;
+use sdr_det::prop::{f64_in, freq, just, one_of, rects_in, u32s, usize_in, vecs_of, Gen};
 use sdr_geom::{Point, Rect};
 use sdr_rtree::{Entry, RTree, RTreeConfig, SplitPolicy};
 
@@ -13,27 +13,26 @@ enum Op {
     Delete(usize),
 }
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (0.0f64..100.0, 0.0f64..100.0, 0.0f64..10.0, 0.0f64..10.0)
-        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+fn arb_rect() -> Gen<Rect> {
+    rects_in(0.0..100.0, 0.0..100.0, 10.0, 10.0)
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            4 => (arb_rect(), any::<u32>()).prop_map(|(r, id)| Op::Insert(r, id)),
-            1 => (0usize..200).prop_map(Op::Delete),
-        ],
+fn arb_ops() -> Gen<Vec<Op>> {
+    vecs_of(
+        freq(vec![
+            (4, arb_rect().zip(u32s()).map(|(r, id)| Op::Insert(r, id))),
+            (1, usize_in(0..200).map(Op::Delete)),
+        ]),
         1..120,
     )
 }
 
-fn arb_policy() -> impl Strategy<Value = SplitPolicy> {
-    prop_oneof![
-        Just(SplitPolicy::Linear),
-        Just(SplitPolicy::Quadratic),
-        Just(SplitPolicy::RStar),
-    ]
+fn arb_policy() -> Gen<SplitPolicy> {
+    one_of(vec![
+        just(SplitPolicy::Linear),
+        just(SplitPolicy::Quadratic),
+        just(SplitPolicy::RStar),
+    ])
 }
 
 /// Replays `ops` against both the R-tree and a naive vector; returns both.
@@ -70,10 +69,7 @@ fn replay_cfg(ops: &[Op], config: RTreeConfig) -> (RTree<u32>, Vec<(Rect, u32)>)
     (tree, naive)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
+sdr_det::prop! {
     fn window_queries_match_oracle(
         ops in arb_ops(),
         policy in arb_policy(),
@@ -81,7 +77,7 @@ proptest! {
     ) {
         let (tree, naive) = replay(&ops, policy, 6);
         tree.check_invariants();
-        prop_assert_eq!(tree.len(), naive.len());
+        assert_eq!(tree.len(), naive.len());
 
         let mut got: Vec<u32> = tree.search_window(&window).iter().map(|e| e.item).collect();
         let mut want: Vec<u32> = naive
@@ -91,15 +87,14 @@ proptest! {
             .collect();
         got.sort_unstable();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
 
-    #[test]
     fn point_queries_match_oracle(
         ops in arb_ops(),
         policy in arb_policy(),
-        px in 0.0f64..110.0,
-        py in 0.0f64..110.0,
+        px in f64_in(0.0, 110.0),
+        py in f64_in(0.0, 110.0),
     ) {
         let (tree, naive) = replay(&ops, policy, 4);
         let p = Point::new(px, py);
@@ -111,16 +106,15 @@ proptest! {
             .collect();
         got.sort_unstable();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
 
-    #[test]
     fn knn_distances_match_oracle(
         ops in arb_ops(),
         policy in arb_policy(),
-        px in 0.0f64..110.0,
-        py in 0.0f64..110.0,
-        k in 1usize..10,
+        px in f64_in(0.0, 110.0),
+        py in f64_in(0.0, 110.0),
+        k in usize_in(1..10),
     ) {
         let (tree, naive) = replay(&ops, policy, 8);
         let p = Point::new(px, py);
@@ -128,22 +122,21 @@ proptest! {
         let mut want: Vec<f64> = naive.iter().map(|(r, _)| r.min_dist(&p)).collect();
         want.sort_by(|a, b| a.partial_cmp(b).unwrap());
         want.truncate(k);
-        prop_assert_eq!(got.len(), want.len());
+        assert_eq!(got.len(), want.len());
         for (g, w) in got.iter().zip(&want) {
-            prop_assert!((g - w).abs() < 1e-9, "got {g}, want {w}");
+            assert!((g - w).abs() < 1e-9, "got {g}, want {w}");
         }
     }
 
-    #[test]
     fn bulk_load_matches_incremental(
-        rects in proptest::collection::vec(arb_rect(), 1..200),
+        rects in vecs_of(arb_rect(), 1..200),
         policy in arb_policy(),
     ) {
         let entries: Vec<Entry<usize>> =
             rects.iter().enumerate().map(|(i, r)| Entry::new(*r, i)).collect();
         let bulk = RTree::bulk_load(RTreeConfig::with_max(8, policy), entries);
         bulk.check_invariants();
-        prop_assert_eq!(bulk.len(), rects.len());
+        assert_eq!(bulk.len(), rects.len());
 
         let probe = Rect::new(20.0, 20.0, 60.0, 60.0);
         let mut got: Vec<usize> = bulk.search_window(&probe).iter().map(|e| e.item).collect();
@@ -155,10 +148,9 @@ proptest! {
             .collect();
         got.sort_unstable();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
 
-    #[test]
     fn reinsertion_matches_oracle(
         ops in arb_ops(),
         policy in arb_policy(),
@@ -175,13 +167,12 @@ proptest! {
             .collect();
         got.sort_unstable();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
 
-    #[test]
     fn bbox_is_exact(ops in arb_ops(), policy in arb_policy()) {
         let (tree, naive) = replay(&ops, policy, 6);
         let want = Rect::mbb(naive.iter().map(|(r, _)| r));
-        prop_assert_eq!(tree.bbox(), want);
+        assert_eq!(tree.bbox(), want);
     }
 }

@@ -1,7 +1,6 @@
 //! Low-level coordinate samplers over the unit square.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sdr_det::{DetRng, Rng};
 use sdr_geom::Point;
 
 /// A seeded sampler of points in the unit square `[0,1]²`.
@@ -12,7 +11,7 @@ use sdr_geom::Point;
 /// adds Gaussian noise, clamped to the square.
 #[derive(Clone, Debug)]
 pub struct Sampler {
-    rng: StdRng,
+    rng: Rng,
     kind: SamplerKind,
 }
 
@@ -31,7 +30,7 @@ impl Sampler {
     /// Uniform sampler.
     pub fn uniform(seed: u64) -> Self {
         Sampler {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             kind: SamplerKind::Uniform,
         }
     }
@@ -40,9 +39,9 @@ impl Sampler {
     /// `sigma`, selected with Zipf(1) weights.
     pub fn clustered(seed: u64, clusters: usize, sigma: f64) -> Self {
         assert!(clusters >= 1, "need at least one cluster");
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_c105);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x5eed_c105);
         let centers: Vec<Point> = (0..clusters)
-            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .map(|_| Point::new(rng.gen_f64(), rng.gen_f64()))
             .collect();
         // Zipf weights 1/1, 1/2, ..., normalized into a CDF.
         let weights: Vec<f64> = (1..=clusters).map(|i| 1.0 / i as f64).collect();
@@ -56,7 +55,7 @@ impl Sampler {
             })
             .collect();
         Sampler {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             kind: SamplerKind::Clusters {
                 centers,
                 cdf,
@@ -68,13 +67,13 @@ impl Sampler {
     /// Draws the next point.
     pub fn sample(&mut self) -> Point {
         match &self.kind {
-            SamplerKind::Uniform => Point::new(self.rng.gen::<f64>(), self.rng.gen::<f64>()),
+            SamplerKind::Uniform => Point::new(self.rng.gen_f64(), self.rng.gen_f64()),
             SamplerKind::Clusters {
                 centers,
                 cdf,
                 sigma,
             } => {
-                let u = self.rng.gen::<f64>();
+                let u = self.rng.gen_f64();
                 let idx = cdf.partition_point(|c| *c < u).min(centers.len() - 1);
                 let c = centers[idx];
                 let (gx, gy) = gaussian_pair(&mut self.rng);
@@ -97,9 +96,9 @@ impl Sampler {
 }
 
 /// Box–Muller transform: two independent standard normal variates.
-fn gaussian_pair(rng: &mut StdRng) -> (f64, f64) {
-    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.gen::<f64>();
+fn gaussian_pair(rng: &mut Rng) -> (f64, f64) {
+    let u1: f64 = rng.gen_f64().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen_f64();
     let r = (-2.0 * u1.ln()).sqrt();
     let theta = 2.0 * std::f64::consts::PI * u2;
     (r * theta.cos(), r * theta.sin())
@@ -164,7 +163,7 @@ mod tests {
 
     #[test]
     fn gaussian_pair_has_roughly_zero_mean() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let mut sum = 0.0;
         let n = 10_000;
         for _ in 0..n {

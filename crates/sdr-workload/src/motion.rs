@@ -7,8 +7,7 @@
 //! bounded random walk over the unit square, seeded and deterministic.
 
 use crate::distributions::Sampler;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sdr_det::{DetRng, Rng};
 use sdr_geom::{Point, Rect};
 
 /// A moving-objects workload: `n` objects of fixed extent performing a
@@ -51,7 +50,7 @@ impl MotionSpec {
         Motion {
             spec: self.clone(),
             positions,
-            rng: StdRng::seed_from_u64(seed ^ 0x0D0_7E11),
+            rng: Rng::seed_from_u64(seed ^ 0x0D0_7E11),
         }
     }
 }
@@ -61,7 +60,7 @@ impl MotionSpec {
 pub struct Motion {
     spec: MotionSpec,
     positions: Vec<Point>,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl Motion {

@@ -1,0 +1,116 @@
+//! Determinism regression tests: every workload generator must produce
+//! byte-identical output for the same seed across independent
+//! instantiations, and different output for different seeds. This is the
+//! contract every recorded experiment figure rests on — if it breaks,
+//! `EXPERIMENTS.md` numbers silently stop being reproducible.
+
+use sdr_geom::{Point, Rect};
+use sdr_workload::{DatasetSpec, Distribution, MotionSpec, PointSpec, WindowSpec};
+
+/// The exact bits, not an approximate comparison: `f64::to_bits` makes
+/// `-0.0 != 0.0` and every last ulp count.
+fn rect_bits(r: &Rect) -> [u64; 4] {
+    [
+        r.xmin.to_bits(),
+        r.ymin.to_bits(),
+        r.xmax.to_bits(),
+        r.ymax.to_bits(),
+    ]
+}
+
+fn point_bits(p: &Point) -> [u64; 2] {
+    [p.x.to_bits(), p.y.to_bits()]
+}
+
+#[test]
+fn datasets_are_bit_identical_across_instantiations() {
+    for dist in [
+        Distribution::Uniform,
+        Distribution::Skewed {
+            clusters: 8,
+            sigma: 0.04,
+        },
+    ] {
+        let a = DatasetSpec::new(2_000, dist).generate(42);
+        let b = DatasetSpec::new(2_000, dist).generate(42);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(rect_bits(x), rect_bits(y), "dataset diverged ({dist:?})");
+        }
+        let c = DatasetSpec::new(2_000, dist).generate(43);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| rect_bits(x) != rect_bits(y)),
+            "different seeds must differ ({dist:?})"
+        );
+    }
+}
+
+#[test]
+fn query_workloads_are_bit_identical_across_instantiations() {
+    let p1 = PointSpec::uniform().generate(500, 7);
+    let p2 = PointSpec::uniform().generate(500, 7);
+    for (x, y) in p1.iter().zip(&p2) {
+        assert_eq!(point_bits(x), point_bits(y));
+    }
+    let p3 = PointSpec::uniform().generate(500, 8);
+    assert!(p1
+        .iter()
+        .zip(&p3)
+        .any(|(x, y)| point_bits(x) != point_bits(y)));
+
+    let w1 = WindowSpec::paper_default().generate(500, 11);
+    let w2 = WindowSpec::paper_default().generate(500, 11);
+    for (x, y) in w1.iter().zip(&w2) {
+        assert_eq!(rect_bits(x), rect_bits(y));
+    }
+    let w3 = WindowSpec::paper_default().generate(500, 12);
+    assert!(w1
+        .iter()
+        .zip(&w3)
+        .any(|(x, y)| rect_bits(x) != rect_bits(y)));
+}
+
+#[test]
+fn motion_traces_are_bit_identical_across_instantiations() {
+    let spec = MotionSpec::new(200, 0.01).with_mobility(0.6);
+    let mut a = spec.start(99);
+    let mut b = spec.start(99);
+    for tick in 0..10 {
+        let ma = a.tick();
+        let mb = b.tick();
+        assert_eq!(ma.len(), mb.len(), "tick {tick} moved different counts");
+        for ((ia, oa, na), (ib, ob, nb)) in ma.iter().zip(&mb) {
+            assert_eq!(ia, ib);
+            assert_eq!(rect_bits(oa), rect_bits(ob));
+            assert_eq!(rect_bits(na), rect_bits(nb));
+        }
+    }
+    for (ra, rb) in a.rects().iter().zip(&b.rects()) {
+        assert_eq!(rect_bits(ra), rect_bits(rb));
+    }
+
+    // A different seed must yield a different trace.
+    let mut c = spec.start(100);
+    let moved_a: Vec<_> = a.rects();
+    c.tick();
+    assert!(moved_a
+        .iter()
+        .zip(&c.rects())
+        .any(|(x, y)| rect_bits(x) != rect_bits(y)));
+}
+
+#[test]
+fn samplers_fork_independent_streams() {
+    use sdr_det::{DetRng, Rng};
+    // The substream contract the workload generators rely on: forking is
+    // a pure function of (parent state, id) and leaves the parent alone.
+    let parent = Rng::seed_from_u64(5);
+    let mut f1a = parent.fork(1);
+    let mut f1b = parent.fork(1);
+    let mut f2 = parent.fork(2);
+    let s1a: Vec<u64> = (0..32).map(|_| f1a.next_u64()).collect();
+    let s1b: Vec<u64> = (0..32).map(|_| f1b.next_u64()).collect();
+    let s2: Vec<u64> = (0..32).map(|_| f2.next_u64()).collect();
+    assert_eq!(s1a, s1b);
+    assert_ne!(s1a, s2);
+}

@@ -11,15 +11,14 @@
 //! cargo run --release --example airspace_conflicts
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sd_rtree::{Client, ClientId, Cluster, Object, Oid, Point, Rect, SdrConfig, Variant};
+use sdr_det::{DetRng, Rng};
 
 const AIRCRAFT: usize = 5_000;
 const SEPARATION: f64 = 0.004; // protected-zone half-extent
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2026);
+    let mut rng = Rng::seed_from_u64(2026);
     // Traffic concentrates along three airways.
     let airways = [
         (0.2, 0.8, 0.9, 0.1),
@@ -29,7 +28,7 @@ fn main() {
     let zones: Vec<Rect> = (0..AIRCRAFT)
         .map(|_| {
             let (x0, y0, x1, y1) = airways[rng.gen_range(0..airways.len())];
-            let t: f64 = rng.gen();
+            let t: f64 = rng.gen_f64();
             let (jx, jy): (f64, f64) = (rng.gen_range(-0.02..0.02), rng.gen_range(-0.02..0.02));
             let c = Point::new(
                 (x0 + t * (x1 - x0) + jx).clamp(0.0, 1.0),
