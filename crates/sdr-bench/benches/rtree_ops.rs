@@ -61,6 +61,38 @@ fn bench_rtree(c: &mut Bench) {
             black_box(t.len())
         })
     });
+
+    // The 100k-object tier: the scale where node layout (pointer chasing
+    // vs contiguous coordinate slabs) dominates query wall-clock.
+    let big_rects = dataset(100_000, Dist::Uniform, 13);
+    let big_tree = {
+        let mut t: RTree<usize> = RTree::new(RTreeConfig::default());
+        for (i, r) in big_rects.iter().enumerate() {
+            t.insert(*r, i);
+        }
+        t
+    };
+
+    c.bench_function("rtree/window_query_100k", |b| {
+        // ~10 % of the unit square: a paper-sized window over 100k objects.
+        let w = Rect::new(0.35, 0.35, 0.65, 0.65);
+        b.iter(|| black_box(big_tree.search_window(black_box(&w)).len()))
+    });
+
+    c.bench_function("rtree/window_query_100k_small", |b| {
+        let w = Rect::new(0.49, 0.49, 0.52, 0.52);
+        b.iter(|| black_box(big_tree.search_window(black_box(&w)).len()))
+    });
+
+    c.bench_function("rtree/point_query_100k", |b| {
+        let p = Point::new(0.5, 0.5);
+        b.iter(|| black_box(big_tree.search_point(black_box(&p)).len()))
+    });
+
+    c.bench_function("rtree/knn_10_100k", |b| {
+        let p = Point::new(0.3, 0.7);
+        b.iter(|| black_box(big_tree.nearest(black_box(p), 10).len()))
+    });
 }
 
 sdr_det::bench_main!(bench_rtree);

@@ -126,17 +126,17 @@ impl Cluster {
     /// Average data-node load factor (stored objects / capacity), the
     /// `load(%)` column of Table 1.
     pub fn avg_load(&self) -> f64 {
-        let nodes: Vec<usize> = self
+        let (count, total) = self
             .servers
             .iter()
             .filter_map(|s| s.data.as_ref())
-            .map(|d| d.len())
-            .collect();
-        if nodes.is_empty() {
+            .fold((0usize, 0usize), |(count, total), d| {
+                (count + 1, total + d.len())
+            });
+        if count == 0 {
             return 0.0;
         }
-        let total: usize = nodes.iter().sum();
-        total as f64 / (nodes.len() as f64 * self.config.capacity as f64)
+        total as f64 / (count as f64 * self.config.capacity as f64)
     }
 
     /// The root node of the distributed tree: the routing node without a

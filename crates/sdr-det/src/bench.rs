@@ -10,8 +10,25 @@
 //!
 //! Environment knobs: `SDR_BENCH_SAMPLES` overrides the per-bench sample
 //! count; `SDR_BENCH_QUICK=1` caps samples at 10 for smoke runs.
+//!
+//! ## JSON perf records
+//!
+//! Passing `--json` on the bench binary's command line (i.e.
+//! `cargo bench --bench rtree_ops -- --json`), or setting
+//! `SDR_BENCH_JSON=1` in the environment, makes [`Bench::finish`] write
+//! the run's min/median/p99 numbers to `BENCH_<suite>.json` in the
+//! current directory, where `<suite>` is the prefix of the bench names
+//! before the first `/` (`rtree/insert_10k` → `BENCH_rtree.json`).
+//! `--json-baseline` (or `SDR_BENCH_JSON=baseline`) writes the same
+//! numbers under the file's `"baseline"` key instead of `"current"`,
+//! which is how a pre-change run is pinned for later comparison: writes
+//! merge with the existing file, so the baseline section survives
+//! subsequent `--json` runs. A non-`1` value of `SDR_BENCH_JSON` (other
+//! than `baseline`) is taken as the directory to write into.
 
+use crate::json::Json;
 pub use std::hint::black_box;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// One benchmark's summary, in nanoseconds per iteration.
@@ -43,6 +60,16 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
+/// Where a run's JSON record lands: the section key inside the
+/// `BENCH_<suite>.json` file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JsonSection {
+    /// The `"current"` section — the layout under test.
+    Current,
+    /// The `"baseline"` section — a pinned pre-change run.
+    Baseline,
+}
+
 /// The bench runner: collects [`Summary`] rows and prints them.
 #[derive(Debug)]
 pub struct Bench {
@@ -50,6 +77,7 @@ pub struct Bench {
     warmup: Duration,
     min_sample_time: Duration,
     results: Vec<Summary>,
+    json: Option<(JsonSection, PathBuf)>,
 }
 
 impl Default for Bench {
@@ -59,12 +87,14 @@ impl Default for Bench {
             warmup: Duration::from_millis(150),
             min_sample_time: Duration::from_millis(1),
             results: Vec::new(),
+            json: None,
         }
     }
 }
 
 impl Bench {
-    /// A runner configured from the environment (see module docs).
+    /// A runner configured from the environment and the process's
+    /// command line (see module docs).
     pub fn from_env() -> Self {
         let mut b = Bench::default();
         if let Some(n) = std::env::var("SDR_BENCH_SAMPLES")
@@ -77,6 +107,27 @@ impl Bench {
             b.sample_size = b.sample_size.min(10);
             b.warmup = Duration::from_millis(20);
         }
+        let mut dir = PathBuf::from(".");
+        let mut section = None;
+        if let Ok(v) = std::env::var("SDR_BENCH_JSON") {
+            match v.trim() {
+                "" => {}
+                "1" => section = Some(JsonSection::Current),
+                "baseline" => section = Some(JsonSection::Baseline),
+                d => {
+                    section = Some(JsonSection::Current);
+                    dir = PathBuf::from(d);
+                }
+            }
+        }
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--json" => section = Some(JsonSection::Current),
+                "--json-baseline" => section = Some(JsonSection::Baseline),
+                _ => {}
+            }
+        }
+        b.json = section.map(|s| (s, dir));
         b
     }
 
@@ -126,10 +177,73 @@ impl Bench {
         &self.results
     }
 
-    /// Prints a closing line. (Kept as an explicit call so `main` reads
-    /// like the criterion harness it replaced.)
+    /// Prints a closing line and, in `--json` mode, writes the perf
+    /// record. (Kept as an explicit call so `main` reads like the
+    /// criterion harness it replaced.)
     pub fn finish(&self) {
         println!("-- {} benches done", self.results.len());
+        let Some((section, dir)) = &self.json else {
+            return;
+        };
+        if self.results.is_empty() {
+            return;
+        }
+        match self.write_json(*section, dir) {
+            Ok(path) => println!("-- wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: failed to write bench JSON: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Merges this run's summaries into `BENCH_<suite>.json` under the
+    /// given section, preserving the other section and any benches from
+    /// sibling suites sharing the file (e.g. `cluster_insert` and
+    /// `cluster_query` both land in `BENCH_cluster.json`).
+    fn write_json(&self, section: JsonSection, dir: &Path) -> Result<PathBuf, String> {
+        let suite = self.results[0]
+            .name
+            .split('/')
+            .next()
+            .filter(|s| !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'))
+            .unwrap_or("bench")
+            .to_string();
+        let path = dir.join(format!("BENCH_{suite}.json"));
+        let mut root = match std::fs::read_to_string(&path) {
+            Ok(text) => Json::parse(&text).unwrap_or(Json::Obj(vec![])),
+            Err(_) => Json::Obj(vec![]),
+        };
+        if root.as_obj().is_none() {
+            root = Json::Obj(vec![]);
+        }
+        root.set("suite", Json::Str(suite));
+        let key = match section {
+            JsonSection::Current => "current",
+            JsonSection::Baseline => "baseline",
+        };
+        let mut benches = match root.get(key) {
+            Some(Json::Obj(pairs)) => Json::Obj(pairs.clone()),
+            _ => Json::Obj(vec![]),
+        };
+        for s in &self.results {
+            benches.set(
+                &s.name,
+                Json::Obj(vec![
+                    ("min_ns".to_string(), Json::Num(s.min_ns)),
+                    ("median_ns".to_string(), Json::Num(s.median_ns)),
+                    ("p99_ns".to_string(), Json::Num(s.p99_ns)),
+                    (
+                        "iters_per_sample".to_string(),
+                        Json::Num(s.iters_per_sample as f64),
+                    ),
+                    ("samples".to_string(), Json::Num(s.samples as f64)),
+                ]),
+            );
+        }
+        root.set(key, benches);
+        std::fs::write(&path, root.to_pretty()).map_err(|e| e.to_string())?;
+        Ok(path)
     }
 }
 
@@ -212,6 +326,7 @@ mod tests {
             warmup: Duration::from_millis(1),
             min_sample_time: Duration::from_micros(50),
             results: Vec::new(),
+            json: None,
         };
         b.bench_function("noop_sum", |bencher| {
             bencher.iter(|| (0..100u64).sum::<u64>())
@@ -228,5 +343,40 @@ mod tests {
         let mut b = Bench::default();
         b.bench_function("forgot_iter", |_| {});
         assert!(b.results().is_empty());
+    }
+
+    #[test]
+    fn json_record_merges_baseline_and_current() {
+        let dir = std::env::temp_dir().join(format!("sdr_bench_json_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let mut b = Bench {
+            sample_size: 3,
+            warmup: Duration::from_millis(1),
+            min_sample_time: Duration::from_micros(20),
+            results: Vec::new(),
+            json: None,
+        };
+        b.bench_function("demo/alpha", |bencher| {
+            bencher.iter(|| (0..50u64).sum::<u64>())
+        });
+        // Baseline first, then current: both sections must coexist.
+        let path = b
+            .write_json(JsonSection::Baseline, &dir)
+            .expect("write baseline");
+        b.write_json(JsonSection::Current, &dir)
+            .expect("write current");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let root = Json::parse(&text).expect("valid json");
+        assert_eq!(root.get("suite").and_then(Json::as_str), Some("demo"));
+        for section in ["baseline", "current"] {
+            let med = root
+                .get(section)
+                .and_then(|s| s.get("demo/alpha"))
+                .and_then(|e| e.get("median_ns"))
+                .and_then(Json::as_f64)
+                .expect("median recorded");
+            assert!(med > 0.0);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

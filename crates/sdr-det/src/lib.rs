@@ -18,7 +18,10 @@
 //!   macro, and greedy choice-stream shrinking on failure.
 //! * [`mod@bench`] — a wall-clock bench timer (warmup, calibrated batches,
 //!   min/median/p99 report) behind the [`bench_main!`](crate::bench_main!)
-//!   macro.
+//!   macro, with an optional `--json` mode that records runs to
+//!   `BENCH_<suite>.json` perf files.
+//! * [`mod@json`] — the minimal JSON value type those perf records (and
+//!   their CI validator) are built on.
 //!
 //! ## Example
 //!
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod json;
 pub mod prop;
 pub mod rng;
 

@@ -4,12 +4,19 @@
 //! the benchmark harness to build centralized baselines quickly and by the
 //! SD-Rtree server split to rebuild a data node's local tree after it
 //! receives a batch of relocated objects.
+//!
+//! Each packed chunk becomes an arena node directly: the packer emits
+//! `(Rect, NodeId)` pairs per level, so the finished tree is laid out in
+//! the arena bottom-up with the leaves of one STR slice adjacent in
+//! memory.
 
 use crate::config::RTreeConfig;
 use crate::entry::Entry;
-use crate::node::{Child, Node};
+use crate::node::{Arena, Kind, Node, NodeId, Slabs};
+use crate::query::Scratch;
 use crate::tree::RTree;
 use sdr_geom::Rect;
+use std::cell::RefCell;
 
 impl<T> RTree<T> {
     /// Builds a tree from `entries` using the STR packing algorithm
@@ -23,30 +30,46 @@ impl<T> RTree<T> {
             return RTree::new(config);
         }
         let m = config.max_entries;
+        let mut arena: Arena<T> = Arena::new();
         // Pack the leaf level.
-        let leaves: Vec<Child<T>> = str_pack(&mut entries, m, |chunk| {
-            let rect = Rect::mbb(chunk.iter().map(|e| &e.rect)).expect("non-empty chunk");
-            Child {
-                rect,
-                node: Box::new(Node::Leaf(chunk)),
-            }
+        let leaves: Vec<(Rect, NodeId)> = str_pack(&mut entries, m, |chunk| {
+            let slabs = Slabs::from_rects(chunk.iter().map(|e| &e.rect));
+            let rect = slabs.mbb().expect("non-empty chunk");
+            let id = arena.alloc(Node {
+                slabs,
+                kind: Kind::Leaf(chunk),
+            });
+            (rect, id)
         });
         // Pack upper levels until a single root remains.
         let mut level = leaves;
         while level.len() > 1 {
             level = str_pack(&mut level, m, |chunk| {
-                let rect = Rect::mbb(chunk.iter().map(|c| &c.rect)).expect("non-empty chunk");
-                Child {
-                    rect,
-                    node: Box::new(Node::Internal(chunk)),
+                let mut slabs = Slabs::with_capacity(chunk.len());
+                let mut ids = Vec::with_capacity(chunk.len());
+                for (r, id) in chunk {
+                    slabs.push(&r);
+                    ids.push(id);
                 }
+                let rect = slabs.mbb().expect("non-empty chunk");
+                let id = arena.alloc(Node {
+                    slabs,
+                    kind: Kind::Internal(ids),
+                });
+                (rect, id)
             });
         }
         let root = match level.pop() {
-            Some(child) => *child.node,
-            None => Node::new_leaf(),
+            Some((_, id)) => id,
+            None => arena.alloc(Node::new_leaf()),
         };
-        RTree { root, config, len }
+        RTree {
+            arena,
+            root,
+            config,
+            len,
+            scratch: RefCell::new(Scratch::default()),
+        }
     }
 }
 
@@ -65,12 +88,12 @@ impl<T> Centered for Entry<T> {
     }
 }
 
-impl<T> Centered for Child<T> {
+impl Centered for (Rect, NodeId) {
     fn cx(&self) -> f64 {
-        (self.rect.xmin + self.rect.xmax) / 2.0
+        (self.0.xmin + self.0.xmax) / 2.0
     }
     fn cy(&self) -> f64 {
-        (self.rect.ymin + self.rect.ymax) / 2.0
+        (self.0.ymin + self.0.ymax) / 2.0
     }
 }
 
@@ -81,7 +104,11 @@ impl<T> Centered for Child<T> {
 /// this guarantees that every produced node satisfies the `m >= M * 40 %`
 /// minimum-fill invariant (a plain greedy cut can leave a nearly empty
 /// trailing node).
-fn str_pack<I: Centered, O>(items: &mut Vec<I>, m: usize, make: impl Fn(Vec<I>) -> O) -> Vec<O> {
+fn str_pack<I: Centered, O>(
+    items: &mut Vec<I>,
+    m: usize,
+    mut make: impl FnMut(Vec<I>) -> O,
+) -> Vec<O> {
     let n = items.len();
     let n_pages = n.div_ceil(m);
     let n_slices = (n_pages as f64).sqrt().ceil() as usize;
@@ -187,5 +214,13 @@ mod tests {
         assert_eq!(t.len(), 201);
         assert!(t.remove(&Rect::new(500.0, 500.0, 501.0, 501.0), &9999));
         assert_eq!(t.len(), 200);
+    }
+
+    #[test]
+    fn bulk_load_passes_invariants() {
+        for n in [1usize, 2, 33, 500, 1000] {
+            let t = RTree::bulk_load(RTreeConfig::default(), entries(n));
+            t.check_invariants();
+        }
     }
 }

@@ -1,55 +1,83 @@
 //! Search operations: window, point, k-nearest-neighbour, and distance
 //! queries over a local [`RTree`].
+//!
+//! Traversals run over the arena's coordinate slabs: each visited node
+//! filters its children with a contiguous four-compare-per-slot kernel
+//! ([`crate::node::Slabs`]) and only the surviving indices are resolved
+//! to child ids or leaf entries. All transient state (node stack, hit
+//! buffer, kNN heaps) lives in a per-tree [`Scratch`] so steady-state
+//! queries allocate nothing beyond the result vector.
 
 use crate::entry::Entry;
-use crate::node::Node;
+use crate::node::{Kind, NodeId};
 use crate::tree::RTree;
 use sdr_geom::{Point, Rect};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Reusable traversal state, kept on the tree behind a `RefCell`.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Scratch {
+    /// DFS stack of pending nodes.
+    stack: Vec<NodeId>,
+    /// Best-first kNN frontier.
+    heap: BinaryHeap<KnnItem>,
+    /// Max-heap of the k best entry distances pushed so far — the kNN
+    /// pruning cutoff.
+    kth: BinaryHeap<OrdF64>,
+}
+
 impl<T> RTree<T> {
     /// Returns every entry whose rectangle intersects `window`
     /// (border contact counts, matching the SD-Rtree forwarding rules).
     pub fn search_window(&self, window: &Rect) -> Vec<&Entry<T>> {
-        let mut out = Vec::new();
-        let mut stack: Vec<&Node<T>> = vec![&self.root];
-        while let Some(node) = stack.pop() {
-            match node {
-                Node::Leaf(es) => {
-                    out.extend(es.iter().filter(|e| e.rect.intersects(window)));
+        let mut res = Vec::new();
+        let mut scratch = self.scratch.borrow_mut();
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.push(self.root);
+        while let Some(id) = stack.pop() {
+            let node = self.arena.node(id);
+            match &node.kind {
+                Kind::Leaf(es) => {
+                    node.slabs.each_intersecting(window, |i| res.push(&es[i]));
                 }
-                Node::Internal(cs) => {
-                    stack.extend(
-                        cs.iter()
-                            .filter(|c| c.rect.intersects(window))
-                            .map(|c| &*c.node),
-                    );
+                Kind::Internal(cs) => {
+                    node.slabs.each_intersecting(window, |i| {
+                        // Report-all shortcut: a child fully inside the
+                        // window contributes every entry below it, no
+                        // further rectangle tests needed.
+                        if node.slabs.covered_by(i, window) {
+                            self.push_all(cs[i], &mut res);
+                        } else {
+                            stack.push(cs[i]);
+                        }
+                    });
                 }
             }
         }
-        out
+        res
     }
 
     /// Returns every entry whose rectangle contains the point.
     pub fn search_point(&self, p: &Point) -> Vec<&Entry<T>> {
-        let mut out = Vec::new();
-        let mut stack: Vec<&Node<T>> = vec![&self.root];
-        while let Some(node) = stack.pop() {
-            match node {
-                Node::Leaf(es) => {
-                    out.extend(es.iter().filter(|e| e.rect.contains_point(p)));
+        let mut res = Vec::new();
+        let mut scratch = self.scratch.borrow_mut();
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.push(self.root);
+        while let Some(id) = stack.pop() {
+            let node = self.arena.node(id);
+            match &node.kind {
+                Kind::Leaf(es) => {
+                    node.slabs.each_containing_point(p, |i| res.push(&es[i]));
                 }
-                Node::Internal(cs) => {
-                    stack.extend(
-                        cs.iter()
-                            .filter(|c| c.rect.contains_point(p))
-                            .map(|c| &*c.node),
-                    );
+                Kind::Internal(cs) => {
+                    node.slabs.each_containing_point(p, |i| stack.push(cs[i]));
                 }
             }
         }
-        out
+        res
     }
 
     /// Returns every entry within Euclidean distance `dist` of point `p`
@@ -57,98 +85,141 @@ impl<T> RTree<T> {
     /// distance 0).
     pub fn search_within(&self, p: &Point, dist: f64) -> Vec<&Entry<T>> {
         let d2 = dist * dist;
-        let mut out = Vec::new();
-        let mut stack: Vec<&Node<T>> = vec![&self.root];
-        while let Some(node) = stack.pop() {
-            match node {
-                Node::Leaf(es) => {
-                    out.extend(es.iter().filter(|e| e.rect.min_dist2(p) <= d2));
+        let mut res = Vec::new();
+        let mut scratch = self.scratch.borrow_mut();
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.push(self.root);
+        while let Some(id) = stack.pop() {
+            let node = self.arena.node(id);
+            match &node.kind {
+                Kind::Leaf(es) => {
+                    node.slabs.each_within(p, d2, |i| res.push(&es[i]));
                 }
-                Node::Internal(cs) => {
-                    stack.extend(
-                        cs.iter()
-                            .filter(|c| c.rect.min_dist2(p) <= d2)
-                            .map(|c| &*c.node),
-                    );
+                Kind::Internal(cs) => {
+                    node.slabs.each_within(p, d2, |i| stack.push(cs[i]));
                 }
             }
         }
-        out
+        res
+    }
+
+    /// Appends every entry of the subtree rooted at `id` to `res` — the
+    /// report-all descent for covered subtrees.
+    fn push_all<'a>(&'a self, id: NodeId, res: &mut Vec<&'a Entry<T>>) {
+        match &self.arena.node(id).kind {
+            Kind::Leaf(es) => res.extend(es.iter()),
+            Kind::Internal(cs) => {
+                for &c in cs {
+                    self.push_all(c, res);
+                }
+            }
+        }
     }
 
     /// Best-first k-nearest-neighbour search (Hjaltason & Samet style):
     /// returns up to `k` entries ordered by increasing distance from `p`,
     /// together with that distance.
+    ///
+    /// The frontier is pruned against the k-th best entry distance seen
+    /// so far: nodes and entries strictly farther than the cutoff can
+    /// never reach the result set, so they are never pushed.
     pub fn nearest(&self, p: Point, k: usize) -> Vec<(&Entry<T>, f64)> {
         if k == 0 || self.is_empty() {
             return Vec::new();
         }
-        // Min-heap over (distance², tie-break counter, heap item).
-        let mut heap: BinaryHeap<HeapItem<'_, T>> = BinaryHeap::new();
+        let mut scratch = self.scratch.borrow_mut();
+        let Scratch { heap, kth, .. } = &mut *scratch;
+        heap.clear();
+        kth.clear();
         let mut counter = 0u64;
-        heap.push(HeapItem {
+        heap.push(KnnItem {
             d2: 0.0,
             seq: 0,
-            kind: HeapKind::Node(&self.root),
+            target: KnnTarget::Node(self.root),
         });
-        let mut out = Vec::with_capacity(k);
-        while let Some(HeapItem { d2, kind, .. }) = heap.pop() {
-            match kind {
-                HeapKind::Node(Node::Leaf(es)) => {
-                    for e in es {
+        let mut found: Vec<(NodeId, u32, f64)> = Vec::with_capacity(k);
+        while let Some(KnnItem { d2, target, .. }) = heap.pop() {
+            match target {
+                KnnTarget::Node(id) => {
+                    let node = self.arena.node(id);
+                    let is_leaf = matches!(node.kind, Kind::Leaf(_));
+                    for i in 0..node.fanout() {
+                        let d = node.slabs.min_dist2(i, &p);
+                        // Prune: with k candidates at distance <= cutoff
+                        // already in flight, anything strictly farther is
+                        // dominated (ties keep the original order).
+                        if kth.len() == k && kth.peek().is_some_and(|worst| d > worst.0) {
+                            continue;
+                        }
                         counter += 1;
-                        heap.push(HeapItem {
-                            d2: e.rect.min_dist2(&p),
+                        let target = if is_leaf {
+                            kth.push(OrdF64(d));
+                            if kth.len() > k {
+                                kth.pop();
+                            }
+                            KnnTarget::Entry(id, i as u32)
+                        } else {
+                            let Kind::Internal(cs) = &node.kind else {
+                                unreachable!()
+                            };
+                            KnnTarget::Node(cs[i])
+                        };
+                        heap.push(KnnItem {
+                            d2: d,
                             seq: counter,
-                            kind: HeapKind::Entry(e),
+                            target,
                         });
                     }
                 }
-                HeapKind::Node(Node::Internal(cs)) => {
-                    for c in cs {
-                        counter += 1;
-                        heap.push(HeapItem {
-                            d2: c.rect.min_dist2(&p),
-                            seq: counter,
-                            kind: HeapKind::Node(&c.node),
-                        });
-                    }
-                }
-                HeapKind::Entry(e) => {
-                    out.push((e, d2.sqrt()));
-                    if out.len() == k {
+                KnnTarget::Entry(id, i) => {
+                    found.push((id, i, d2.sqrt()));
+                    if found.len() == k {
                         break;
                     }
                 }
             }
         }
-        out
+        let mut res = Vec::with_capacity(found.len());
+        for &(id, i, d) in &found {
+            let Kind::Leaf(es) = &self.arena.node(id).kind else {
+                unreachable!("entries live in leaves")
+            };
+            res.push((&es[i as usize], d));
+        }
+        res
     }
 }
 
-enum HeapKind<'a, T> {
-    Node(&'a Node<T>),
-    Entry(&'a Entry<T>),
+/// What a kNN frontier item points at.
+#[derive(Clone, Copy, Debug)]
+enum KnnTarget {
+    Node(NodeId),
+    Entry(NodeId, u32),
 }
 
-struct HeapItem<'a, T> {
+/// One kNN frontier item: distance², a tie-break counter preserving push
+/// order, and the target. Holds ids only, so the scratch heap carries no
+/// lifetime.
+#[derive(Clone, Copy, Debug)]
+struct KnnItem {
     d2: f64,
     seq: u64,
-    kind: HeapKind<'a, T>,
+    target: KnnTarget,
 }
 
-impl<T> PartialEq for HeapItem<'_, T> {
+impl PartialEq for KnnItem {
     fn eq(&self, other: &Self) -> bool {
         self.d2 == other.d2 && self.seq == other.seq
     }
 }
-impl<T> Eq for HeapItem<'_, T> {}
-impl<T> PartialOrd for HeapItem<'_, T> {
+impl Eq for KnnItem {}
+impl PartialOrd for KnnItem {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<T> Ord for HeapItem<'_, T> {
+impl Ord for KnnItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want the smallest d2 first.
         other
@@ -156,6 +227,22 @@ impl<T> Ord for HeapItem<'_, T> {
             .partial_cmp(&self.d2)
             .unwrap_or(Ordering::Equal)
             .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Totally-ordered f64 wrapper for the kNN cutoff max-heap.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
     }
 }
 
@@ -275,5 +362,36 @@ mod tests {
         want.sort_unstable();
         assert_eq!(got, want);
         assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn nearest_pruning_matches_unpruned_on_large_k() {
+        // k close to len exercises the cutoff bookkeeping at both ends.
+        let t = tree();
+        let p = Point::new(2.2, 17.9);
+        for k in [1, 3, 50, 399, 400, 500] {
+            let nn = t.nearest(p, k);
+            assert_eq!(nn.len(), k.min(400));
+            let mut all: Vec<f64> = t.iter().map(|e| e.rect.min_dist2(&p).sqrt()).collect();
+            all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for (got, want) in nn.iter().map(|(_, d)| *d).zip(all.iter().take(k)) {
+                assert!((got - want).abs() < 1e-9, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn queries_reuse_scratch_without_interference() {
+        // Interleave all query kinds on one tree: the shared scratch must
+        // be fully reset between calls.
+        let t = tree();
+        let w = Rect::new(1.0, 1.0, 4.0, 4.0);
+        let first = t.search_window(&w).len();
+        for _ in 0..3 {
+            assert_eq!(t.search_window(&w).len(), first);
+            assert_eq!(t.search_point(&Point::new(5.3, 7.3)).len(), 1);
+            assert_eq!(t.nearest(Point::new(10.0, 10.0), 7).len(), 7);
+            assert!(!t.search_within(&Point::new(9.5, 9.5), 2.0).is_empty());
+        }
     }
 }

@@ -1,44 +1,23 @@
 //! Node split algorithms: Guttman Linear, Guttman Quadratic, and the
 //! R\*-tree topological split.
 //!
-//! All three operate on any collection of rectangle-bearing items so the
-//! same code splits leaf entries, internal children, and — in `sdr-core` —
-//! a whole SD-Rtree data node's object set when a server overflows
-//! (paper §2.2: "the data stored on S is divided in two approximately
+//! All three run on the structure-of-arrays coordinate slabs
+//! ([`Slabs`]) and return *index groups*: which slots of the overflowing
+//! node go left and which go right, in assignment order. The caller
+//! distributes the payload (leaf entries, child ids, or — in `sdr-core` —
+//! a whole SD-Rtree data node's object set when a server overflows,
+//! paper §2.2: "the data stored on S is divided in two approximately
 //! equal subsets using a split algorithm similar to that of the classical
-//! Rtree").
+//! Rtree") by those indices. Seed picking, PickNext, and the R\* margin
+//! sweep all read the four coordinate arrays directly — no per-rectangle
+//! pointer chase, and every tie-break matches the original item-moving
+//! implementation exactly, so tree shapes are reproducible across the
+//! layout change.
 
 use crate::config::{RTreeConfig, SplitPolicy};
 use crate::entry::Entry;
-use crate::node::Child;
+use crate::node::Slabs;
 use sdr_geom::Rect;
-
-/// Anything that carries a bounding rectangle and can therefore be
-/// distributed by a split algorithm.
-pub(crate) trait HasRect {
-    fn rect(&self) -> &Rect;
-}
-
-impl<T> HasRect for Entry<T> {
-    #[inline]
-    fn rect(&self) -> &Rect {
-        &self.rect
-    }
-}
-
-impl<T> HasRect for Child<T> {
-    #[inline]
-    fn rect(&self) -> &Rect {
-        &self.rect
-    }
-}
-
-impl HasRect for Rect {
-    #[inline]
-    fn rect(&self) -> &Rect {
-        self
-    }
-}
 
 /// Divides a set of entries into two balanced groups using the configured
 /// split policy — the primitive the SD-Rtree server split builds on
@@ -58,31 +37,61 @@ pub fn partition<T>(
         entries.len() >= 2,
         "cannot partition fewer than two entries"
     );
-    split(entries, config)
+    let slabs = Slabs::from_rects(entries.iter().map(|e| &e.rect));
+    let (ga, gb) = split_ids(&slabs, config);
+    gather(entries, &ga, &gb)
 }
 
-/// Splits `items` (which overflowed: `items.len() == M + 1` in tree usage,
-/// but any length ≥ 2 is accepted) into two groups according to the
-/// configured policy. Both groups are guaranteed non-empty and, when
-/// possible, hold at least `config.min_entries` items.
-pub(crate) fn split<S: HasRect>(items: Vec<S>, config: &RTreeConfig) -> (Vec<S>, Vec<S>) {
-    debug_assert!(items.len() >= 2, "cannot split fewer than two items");
+/// Splits the slots of `slabs` (which overflowed: `len == M + 1` in tree
+/// usage, but any length ≥ 2 is accepted) into two index groups according
+/// to the configured policy. Both groups are non-empty and, when
+/// possible, hold at least `config.min_entries` slots.
+pub(crate) fn split_ids(slabs: &Slabs, config: &RTreeConfig) -> (Vec<u32>, Vec<u32>) {
+    debug_assert!(slabs.len() >= 2, "cannot split fewer than two items");
     match config.split {
-        SplitPolicy::Linear => guttman_split(items, config, linear_pick_seeds),
-        SplitPolicy::Quadratic => guttman_split(items, config, quadratic_pick_seeds),
-        SplitPolicy::RStar => rstar_split(items, config),
+        SplitPolicy::Linear => guttman_split(slabs, config, linear_pick_seeds),
+        SplitPolicy::Quadratic => guttman_split(slabs, config, quadratic_pick_seeds),
+        SplitPolicy::RStar => rstar_split(slabs, config),
     }
 }
 
-/// Guttman's LinearPickSeeds: for each axis find the entry with the
-/// highest low side and the entry with the lowest high side; normalize the
+/// Moves `payload` into two vectors following the index groups, in group
+/// order. Used for leaf entries, internal child ids, and the public
+/// [`partition`].
+pub(crate) fn gather<P>(payload: Vec<P>, ga: &[u32], gb: &[u32]) -> (Vec<P>, Vec<P>) {
+    let mut slots: Vec<Option<P>> = payload.into_iter().map(Some).collect();
+    let take = |slots: &mut Vec<Option<P>>, group: &[u32]| {
+        group
+            .iter()
+            .map(|&i| slots[i as usize].take().expect("index groups are disjoint"))
+            .collect()
+    };
+    let a = take(&mut slots, ga);
+    let b = take(&mut slots, gb);
+    (a, b)
+}
+
+/// Builds the two slab halves for the index groups.
+pub(crate) fn gather_slabs(slabs: &Slabs, ga: &[u32], gb: &[u32]) -> (Slabs, Slabs) {
+    let pick = |group: &[u32]| {
+        let mut s = Slabs::with_capacity(group.len());
+        for &i in group {
+            s.push(&slabs.rect(i as usize));
+        }
+        s
+    };
+    (pick(ga), pick(gb))
+}
+
+/// Guttman's LinearPickSeeds: for each axis find the slot with the
+/// highest low side and the slot with the lowest high side; normalize the
 /// separation by the axis extent; pick the pair with the greatest
 /// normalized separation.
-fn linear_pick_seeds<S: HasRect>(items: &[S]) -> (usize, usize) {
+fn linear_pick_seeds(slabs: &Slabs) -> (usize, usize) {
     let mut best_sep = f64::NEG_INFINITY;
     let mut best = (0, 1);
     for axis in 0..2 {
-        let (lo, hi, side_lo, side_hi) = axis_extremes(items, axis);
+        let (lo, hi, side_lo, side_hi) = axis_extremes(slabs, axis);
         let extent = hi - lo;
         let sep = if extent > 0.0 {
             (side_lo.1 - side_hi.1) / extent
@@ -96,7 +105,7 @@ fn linear_pick_seeds<S: HasRect>(items: &[S]) -> (usize, usize) {
     }
     if best.0 == best.1 {
         // All rectangles identical along both axes: fall back to the first
-        // two items (any partition is equally good).
+        // two slots (any partition is equally good).
         best = (0, 1);
     }
     best
@@ -106,20 +115,18 @@ fn linear_pick_seeds<S: HasRect>(items: &[S]) -> (usize, usize) {
 /// (global min low side, global max high side,
 ///  (index, value) of the highest low side,
 ///  (index, value) of the lowest high side).
-fn axis_extremes<S: HasRect>(items: &[S], axis: usize) -> (f64, f64, (usize, f64), (usize, f64)) {
-    let get = |r: &Rect| -> (f64, f64) {
-        if axis == 0 {
-            (r.xmin, r.xmax)
-        } else {
-            (r.ymin, r.ymax)
-        }
+fn axis_extremes(slabs: &Slabs, axis: usize) -> (f64, f64, (usize, f64), (usize, f64)) {
+    let (los, his) = if axis == 0 {
+        (&slabs.xmin, &slabs.xmax)
+    } else {
+        (&slabs.ymin, &slabs.ymax)
     };
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
     let mut highest_low = (0usize, f64::NEG_INFINITY);
     let mut lowest_high = (0usize, f64::INFINITY);
-    for (i, it) in items.iter().enumerate() {
-        let (l, h) = get(it.rect());
+    for i in 0..slabs.len() {
+        let (l, h) = (los[i], his[i]);
         lo = lo.min(l);
         hi = hi.max(h);
         if l > highest_low.1 {
@@ -133,15 +140,19 @@ fn axis_extremes<S: HasRect>(items: &[S], axis: usize) -> (f64, f64, (usize, f64
 }
 
 /// Guttman's QuadraticPickSeeds: choose the pair that would waste the most
-/// area if grouped together.
-fn quadratic_pick_seeds<S: HasRect>(items: &[S]) -> (usize, usize) {
+/// area if grouped together. The O(n²) pairwise sweep runs entirely over
+/// the coordinate slabs.
+fn quadratic_pick_seeds(slabs: &Slabs) -> (usize, usize) {
     let mut worst = f64::NEG_INFINITY;
     let mut best = (0, 1);
-    for i in 0..items.len() {
-        for j in (i + 1)..items.len() {
-            let a = items[i].rect();
-            let b = items[j].rect();
-            let waste = a.union(b).area() - a.area() - b.area();
+    let n = slabs.len();
+    for i in 0..n {
+        let area_i = (slabs.xmax[i] - slabs.xmin[i]) * (slabs.ymax[i] - slabs.ymin[i]);
+        for j in (i + 1)..n {
+            let area_j = (slabs.xmax[j] - slabs.xmin[j]) * (slabs.ymax[j] - slabs.ymin[j]);
+            let uw = slabs.xmax[i].max(slabs.xmax[j]) - slabs.xmin[i].min(slabs.xmin[j]);
+            let uh = slabs.ymax[i].max(slabs.ymax[j]) - slabs.ymin[i].min(slabs.ymin[j]);
+            let waste = uw * uh - area_i - area_j;
             if waste > worst {
                 worst = waste;
                 best = (i, j);
@@ -151,52 +162,55 @@ fn quadratic_pick_seeds<S: HasRect>(items: &[S]) -> (usize, usize) {
     best
 }
 
-/// The shared Guttman distribution loop, parameterized by the seed picker.
-fn guttman_split<S: HasRect>(
-    mut items: Vec<S>,
+/// The shared Guttman distribution loop, parameterized by the seed
+/// picker. Tracks a remaining-index vector mirroring the `swap_remove`
+/// sequence of the original item-moving loop, so assignment order and
+/// every tie-break are preserved bit-for-bit.
+fn guttman_split(
+    slabs: &Slabs,
     config: &RTreeConfig,
-    pick_seeds: fn(&[S]) -> (usize, usize),
-) -> (Vec<S>, Vec<S>) {
+    pick_seeds: fn(&Slabs) -> (usize, usize),
+) -> (Vec<u32>, Vec<u32>) {
     let m = config.min_entries;
-    let (s1, s2) = pick_seeds(&items);
+    let (s1, s2) = pick_seeds(slabs);
+    let mut rem: Vec<u32> = (0..slabs.len() as u32).collect();
     // Remove the later index first so the earlier one stays valid.
     let (hi, lo) = if s1 > s2 { (s1, s2) } else { (s2, s1) };
-    let seed_b = items.swap_remove(hi);
-    let seed_a = items.swap_remove(lo);
+    let seed_b = rem.swap_remove(hi);
+    let seed_a = rem.swap_remove(lo);
 
-    let mut ra = *seed_a.rect();
-    let mut rb = *seed_b.rect();
+    let mut ra = slabs.rect(seed_a as usize);
+    let mut rb = slabs.rect(seed_b as usize);
     let mut group_a = vec![seed_a];
     let mut group_b = vec![seed_b];
 
-    while let Some(remaining) = {
-        let n = items.len();
-        (n > 0).then_some(n)
-    } {
+    while !rem.is_empty() {
         // If one group must absorb everything left to reach `m`, do so.
-        if group_a.len() + remaining == m {
-            group_a.append(&mut items);
+        if group_a.len() + rem.len() == m {
+            group_a.append(&mut rem);
             break;
         }
-        if group_b.len() + remaining == m {
-            group_b.append(&mut items);
+        if group_b.len() + rem.len() == m {
+            group_b.append(&mut rem);
             break;
         }
-        // PickNext: the entry with the maximal preference difference.
+        // PickNext: the slot with the maximal preference difference.
         let mut best_idx = 0;
         let mut best_diff = f64::NEG_INFINITY;
-        for (i, it) in items.iter().enumerate() {
-            let da = ra.enlargement(it.rect());
-            let db = rb.enlargement(it.rect());
+        for (i, &slot) in rem.iter().enumerate() {
+            let r = slabs.rect(slot as usize);
+            let da = ra.enlargement(&r);
+            let db = rb.enlargement(&r);
             let diff = (da - db).abs();
             if diff > best_diff {
                 best_diff = diff;
                 best_idx = i;
             }
         }
-        let it = items.swap_remove(best_idx);
-        let da = ra.enlargement(it.rect());
-        let db = rb.enlargement(it.rect());
+        let slot = rem.swap_remove(best_idx);
+        let r = slabs.rect(slot as usize);
+        let da = ra.enlargement(&r);
+        let db = rb.enlargement(&r);
         // Resolve ties by smaller area, then smaller group.
         let to_a = match da.partial_cmp(&db) {
             Some(std::cmp::Ordering::Less) => true,
@@ -208,11 +222,11 @@ fn guttman_split<S: HasRect>(
             },
         };
         if to_a {
-            ra.enlarge(it.rect());
-            group_a.push(it);
+            ra.enlarge(&r);
+            group_a.push(slot);
         } else {
-            rb.enlarge(it.rect());
-            group_b.push(it);
+            rb.enlarge(&r);
+            group_b.push(slot);
         }
     }
     (group_a, group_b)
@@ -222,12 +236,17 @@ fn guttman_split<S: HasRect>(
 /// distributions (sorting by both the lower and upper rectangle bounds),
 /// then the distribution with minimal overlap area, ties broken by total
 /// area.
-fn rstar_split<S: HasRect>(mut items: Vec<S>, config: &RTreeConfig) -> (Vec<S>, Vec<S>) {
-    let total = items.len();
+///
+/// The index permutation is sorted stably in place across the four
+/// axis/bound passes — equal keys keep their order from the previous
+/// pass, exactly as repeated stable sorts of the original item vector
+/// did — and each pass evaluates every cut position from prefix/suffix
+/// MBB sweeps over the slabs (O(n) per pass instead of the previous
+/// O(n²) recompute-per-cut).
+fn rstar_split(slabs: &Slabs, config: &RTreeConfig) -> (Vec<u32>, Vec<u32>) {
+    let total = slabs.len();
     let m = config.min_entries.min(total / 2).max(1);
 
-    // For each axis and sort key, the candidate split positions are
-    // k in [m, total - m].
     #[derive(Clone, Copy)]
     struct Candidate {
         k: usize,
@@ -235,18 +254,39 @@ fn rstar_split<S: HasRect>(mut items: Vec<S>, config: &RTreeConfig) -> (Vec<S>, 
         area: f64,
     }
 
+    let mut idx: Vec<u32> = (0..total as u32).collect();
+    let mut prefix: Vec<Rect> = Vec::with_capacity(total);
+    let mut suffix: Vec<Rect> = Vec::with_capacity(total);
+
     let mut best_axis: Option<(usize, bool)> = None;
     let mut best_margin = f64::INFINITY;
     let mut best_candidate: Option<Candidate> = None;
 
     for axis in 0..2usize {
         for by_upper in [false, true] {
-            sort_items(&mut items, axis, by_upper);
+            sort_ids(&mut idx, slabs, axis, by_upper);
+            // Running MBBs of idx[..=i] and idx[i..].
+            prefix.clear();
+            let mut acc = slabs.rect(idx[0] as usize);
+            prefix.push(acc);
+            for &slot in &idx[1..] {
+                acc.enlarge(&slabs.rect(slot as usize));
+                prefix.push(acc);
+            }
+            suffix.clear();
+            let mut acc = slabs.rect(idx[total - 1] as usize);
+            suffix.push(acc);
+            for &slot in idx[..total - 1].iter().rev() {
+                acc.enlarge(&slabs.rect(slot as usize));
+                suffix.push(acc);
+            }
+            suffix.reverse();
+
             let mut margin_sum = 0.0;
             let mut local_best: Option<Candidate> = None;
             for k in m..=(total - m) {
-                let left = Rect::mbb(items[..k].iter().map(|i| i.rect())).expect("non-empty");
-                let right = Rect::mbb(items[k..].iter().map(|i| i.rect())).expect("non-empty");
+                let left = prefix[k - 1];
+                let right = suffix[k];
                 margin_sum += left.margin() + right.margin();
                 let cand = Candidate {
                     k,
@@ -274,20 +314,22 @@ fn rstar_split<S: HasRect>(mut items: Vec<S>, config: &RTreeConfig) -> (Vec<S>, 
 
     let (axis, by_upper) = best_axis.expect("at least one axis candidate");
     let cand = best_candidate.expect("at least one distribution");
-    sort_items(&mut items, axis, by_upper);
-    let right = items.split_off(cand.k);
-    (items, right)
+    sort_ids(&mut idx, slabs, axis, by_upper);
+    let right = idx.split_off(cand.k);
+    (idx, right)
 }
 
-fn sort_items<S: HasRect>(items: &mut [S], axis: usize, by_upper: bool) {
-    items.sort_by(|a, b| {
-        let (ka, kb) = match (axis, by_upper) {
-            (0, false) => (a.rect().xmin, b.rect().xmin),
-            (0, true) => (a.rect().xmax, b.rect().xmax),
-            (1, false) => (a.rect().ymin, b.rect().ymin),
-            _ => (a.rect().ymax, b.rect().ymax),
-        };
-        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+fn sort_ids(idx: &mut [u32], slabs: &Slabs, axis: usize, by_upper: bool) {
+    let keys: &[f64] = match (axis, by_upper) {
+        (0, false) => &slabs.xmin,
+        (0, true) => &slabs.xmax,
+        (1, false) => &slabs.ymin,
+        _ => &slabs.ymax,
+    };
+    idx.sort_by(|&a, &b| {
+        keys[a as usize]
+            .partial_cmp(&keys[b as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
 }
 
@@ -305,6 +347,14 @@ mod tests {
             .collect()
     }
 
+    /// Splits raw rectangles through the slab pipeline, returning the
+    /// grouped rectangles like the old item-moving `split` did.
+    fn split_rects(items: Vec<Rect>, config: &RTreeConfig) -> (Vec<Rect>, Vec<Rect>) {
+        let slabs = Slabs::from_rects(items.iter());
+        let (ga, gb) = split_ids(&slabs, config);
+        gather(items, &ga, &gb)
+    }
+
     fn check_split(policy: SplitPolicy, n: usize) {
         let config = RTreeConfig {
             max_entries: n - 1,
@@ -313,7 +363,7 @@ mod tests {
             reinsert: false,
         };
         let items = rects(n);
-        let (a, b) = split(items, &config);
+        let (a, b) = split_rects(items, &config);
         assert_eq!(a.len() + b.len(), n);
         assert!(!a.is_empty() && !b.is_empty());
         assert!(
@@ -351,7 +401,7 @@ mod tests {
                 split: policy,
                 reinsert: false,
             };
-            let (a, b) = split(rects(2), &config);
+            let (a, b) = split_rects(rects(2), &config);
             assert_eq!(a.len(), 1);
             assert_eq!(b.len(), 1);
         }
@@ -371,7 +421,7 @@ mod tests {
                 reinsert: false,
             };
             let items = vec![Rect::new(0.0, 0.0, 1.0, 1.0); 5];
-            let (a, b) = split(items, &config);
+            let (a, b) = split_rects(items, &config);
             assert_eq!(a.len() + b.len(), 5);
             assert!(a.len() >= 2 && b.len() >= 2, "{policy:?}");
         }
@@ -403,7 +453,7 @@ mod tests {
                 split: policy,
                 reinsert: false,
             };
-            let (a, b) = split(items.clone(), &config);
+            let (a, b) = split_rects(items.clone(), &config);
             let ra = Rect::mbb(a.iter()).unwrap();
             let rb = Rect::mbb(b.iter()).unwrap();
             assert_eq!(ra.overlap_area(&rb), 0.0, "{policy:?} mixed the clusters");
@@ -418,10 +468,34 @@ mod tests {
             split: SplitPolicy::RStar,
             reinsert: false,
         };
-        let (a, b) = split(rects(16), &config);
-        let ra = Rect::mbb(a.iter().map(|e| e.rect())).unwrap();
-        let rb = Rect::mbb(b.iter().map(|e| e.rect())).unwrap();
+        let (a, b) = split_rects(rects(16), &config);
+        let ra = Rect::mbb(a.iter()).unwrap();
+        let rb = Rect::mbb(b.iter()).unwrap();
         // A grid always admits a clean axis cut with bounded overlap.
         assert!(ra.overlap_area(&rb) < ra.area().min(rb.area()));
+    }
+
+    #[test]
+    fn index_groups_are_a_disjoint_cover() {
+        for policy in [
+            SplitPolicy::Linear,
+            SplitPolicy::Quadratic,
+            SplitPolicy::RStar,
+        ] {
+            let config = RTreeConfig {
+                max_entries: 32,
+                min_entries: 12,
+                split: policy,
+                reinsert: false,
+            };
+            let slabs = Slabs::from_rects(rects(33).iter());
+            let (ga, gb) = split_ids(&slabs, &config);
+            let mut seen = [false; 33];
+            for &i in ga.iter().chain(&gb) {
+                assert!(!seen[i as usize], "{policy:?}: slot {i} assigned twice");
+                seen[i as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "{policy:?}: slot unassigned");
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Structural statistics used by tests (invariant checking) and by the
 //! ablation benchmarks (split-policy quality comparison).
 
-use crate::node::Node;
+use crate::node::{Arena, Kind, NodeId};
 use crate::tree::RTree;
 use sdr_geom::Rect;
 
@@ -36,7 +36,8 @@ impl<T> RTree<T> {
         };
         let mut leaf_fill_sum = 0.0;
         visit(
-            &self.root,
+            &self.arena,
+            self.root,
             &mut s,
             &mut leaf_fill_sum,
             self.config.max_entries,
@@ -49,49 +50,71 @@ impl<T> RTree<T> {
 
     /// Checks every structural invariant; panics with a description on
     /// violation. Test-oriented (O(n log n)).
+    ///
+    /// Beyond the classical R-tree invariants (fanout bounds, cached
+    /// child rectangle == recomputed MBB, uniform leaf depth, `len`
+    /// agreement) this also verifies the arena layout: every node's
+    /// coordinate slabs stay parallel to its payload, leaf slabs mirror
+    /// their entries' rectangles exactly, and the arena holds no live
+    /// slots beyond the reachable tree (no leaks past the free list).
     pub fn check_invariants(&self) {
+        let mut nodes_seen = 0usize;
         check(
-            &self.root,
+            &self.arena,
+            self.root,
             self.config.min_entries,
             self.config.max_entries,
             true,
             None,
+            &mut nodes_seen,
         );
         let counted = self.iter().count();
         assert_eq!(counted, self.len(), "len() disagrees with entry count");
+        let (slots, free) = self.arena.accounting();
+        assert_eq!(
+            slots - free,
+            nodes_seen,
+            "arena accounting: live slots != reachable nodes"
+        );
     }
 }
 
-fn visit<T>(node: &Node<T>, s: &mut RTreeStats, leaf_fill_sum: &mut f64, max: usize) {
-    match node {
-        Node::Leaf(es) => {
+fn visit<T>(arena: &Arena<T>, id: NodeId, s: &mut RTreeStats, leaf_fill_sum: &mut f64, max: usize) {
+    let node = arena.node(id);
+    match &node.kind {
+        Kind::Leaf(es) => {
             s.leaves += 1;
             *leaf_fill_sum += es.len() as f64 / max as f64;
         }
-        Node::Internal(cs) => {
+        Kind::Internal(cs) => {
             s.internals += 1;
-            let own: Rect = Rect::mbb(cs.iter().map(|c| &c.rect)).expect("internal non-empty");
-            let child_area: f64 = cs.iter().map(|c| c.rect.area()).sum();
+            let own: Rect = node.slabs.mbb().expect("internal non-empty");
+            let child_area: f64 = (0..cs.len()).map(|i| node.slabs.rect(i).area()).sum();
             s.dead_space += (own.area() - child_area).max(0.0);
             for i in 0..cs.len() {
                 for j in (i + 1)..cs.len() {
-                    s.sibling_overlap += cs[i].rect.overlap_area(&cs[j].rect);
+                    s.sibling_overlap += node.slabs.rect(i).overlap_area(&node.slabs.rect(j));
                 }
-                visit(&cs[i].node, s, leaf_fill_sum, max);
+                visit(arena, cs[i], s, leaf_fill_sum, max);
             }
         }
     }
 }
 
-/// Recursive invariant check: fanout bounds, rect accuracy, uniform leaf
-/// depth. Returns the subtree height.
+/// Recursive invariant check: fanout bounds, rect accuracy, slab/payload
+/// parity, uniform leaf depth. Returns the subtree height and counts the
+/// nodes it visits.
 fn check<T>(
-    node: &Node<T>,
+    arena: &Arena<T>,
+    id: NodeId,
     min: usize,
     max: usize,
     is_root: bool,
     expected_rect: Option<&Rect>,
+    nodes_seen: &mut usize,
 ) -> usize {
+    *nodes_seen += 1;
+    let node = arena.node(id);
     let fanout = node.fanout();
     if is_root {
         assert!(fanout <= max, "root overflow: {fanout} > {max}");
@@ -103,18 +126,31 @@ fn check<T>(
         let actual = node.mbb().expect("non-root nodes are non-empty");
         assert_eq!(&actual, expected, "cached child rect out of date");
     }
-    match node {
-        Node::Leaf(_) => 0,
-        Node::Internal(cs) => {
-            assert!(!cs.is_empty(), "empty internal node");
-            let mut heights = cs
-                .iter()
-                .map(|c| check(&c.node, min, max, false, Some(&c.rect)));
-            let first = heights.next().expect("non-empty");
-            for h in heights {
-                assert_eq!(h, first, "leaves at non-uniform depth");
+    match &node.kind {
+        Kind::Leaf(es) => {
+            assert_eq!(es.len(), node.slabs.len(), "leaf slabs out of sync");
+            for (i, e) in es.iter().enumerate() {
+                assert_eq!(
+                    node.slabs.rect(i),
+                    e.rect,
+                    "leaf slab {i} does not mirror its entry"
+                );
             }
-            first + 1
+            0
+        }
+        Kind::Internal(cs) => {
+            assert_eq!(cs.len(), node.slabs.len(), "internal slabs out of sync");
+            assert!(!cs.is_empty(), "empty internal node");
+            let mut first: Option<usize> = None;
+            for (i, &c) in cs.iter().enumerate() {
+                let r = node.slabs.rect(i);
+                let h = check(arena, c, min, max, false, Some(&r), nodes_seen);
+                match first {
+                    None => first = Some(h),
+                    Some(f) => assert_eq!(h, f, "leaves at non-uniform depth"),
+                }
+            }
+            first.expect("non-empty") + 1
         }
     }
 }

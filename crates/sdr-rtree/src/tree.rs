@@ -1,19 +1,32 @@
 use crate::config::RTreeConfig;
 use crate::entry::Entry;
-use crate::node::{Child, Node};
-use crate::split::split;
+use crate::node::{Arena, Kind, Node, NodeId, Slabs};
+use crate::query::Scratch;
+use crate::split::{gather, gather_slabs, split_ids};
 use sdr_geom::Rect;
+use std::cell::RefCell;
 
 /// A classical in-memory R-tree over payloads of type `T`.
 ///
 /// See the [crate docs](crate) for role and examples. The tree owns its
 /// entries; structural parameters come from an [`RTreeConfig`] fixed at
 /// construction.
+///
+/// Internally the nodes live in an index-based arena (`node::Arena`) and
+/// every node stores its children's bounding boxes as four parallel
+/// coordinate arrays (`node::Slabs`), so the hot query loops scan
+/// contiguous memory instead of chasing one heap pointer per rectangle.
 #[derive(Clone, Debug)]
 pub struct RTree<T> {
-    pub(crate) root: Node<T>,
+    pub(crate) arena: Arena<T>,
+    pub(crate) root: NodeId,
     pub(crate) config: RTreeConfig,
     pub(crate) len: usize,
+    /// Reusable traversal state (stack, hit buffer, kNN heaps) so
+    /// steady-state queries allocate nothing. `RefCell` because queries
+    /// take `&self`; the tree is `Send` but not `Sync`, which the
+    /// workspace never needs (each server owns its tree).
+    pub(crate) scratch: RefCell<Scratch>,
 }
 
 impl<T> RTree<T> {
@@ -24,10 +37,14 @@ impl<T> RTree<T> {
     /// Panics if the configuration violates `1 <= m <= M/2`.
     pub fn new(config: RTreeConfig) -> Self {
         config.validate();
+        let mut arena = Arena::new();
+        let root = arena.alloc(Node::new_leaf());
         RTree {
-            root: Node::new_leaf(),
+            arena,
+            root,
             config,
             len: 0,
+            scratch: RefCell::new(Scratch::default()),
         }
     }
 
@@ -52,12 +69,12 @@ impl<T> RTree<T> {
     /// Minimal bounding box of all stored entries — the *directory
     /// rectangle* of the server holding this tree, in SD-Rtree terms.
     pub fn bbox(&self) -> Option<Rect> {
-        self.root.mbb()
+        self.arena.node(self.root).mbb()
     }
 
     /// Height of the tree (a single leaf has height 0).
     pub fn height(&self) -> usize {
-        self.root.height()
+        self.arena.height(self.root)
     }
 
     /// Inserts an object with the given bounding box.
@@ -72,12 +89,26 @@ impl<T> RTree<T> {
     /// re-enter with it disarmed, as in the R\*-tree).
     fn insert_entry(&mut self, entry: Entry<T>, allow_reinsert: bool) {
         let rect = entry.rect;
-        match insert_rec(&mut self.root, rect, entry, &self.config, allow_reinsert) {
+        match insert_rec(
+            &mut self.arena,
+            self.root,
+            rect,
+            entry,
+            &self.config,
+            allow_reinsert,
+        ) {
             Overflow::None => {}
-            Overflow::Split(left, right) => {
-                // Root split: grow the tree by one level. The old root
-                // was drained by the split and is replaced wholesale.
-                self.root = Node::Internal(vec![left, right]);
+            Overflow::Split(ra, left, rb, right) => {
+                // Root split: grow the tree by one level. The old root's
+                // slot was reused as the left half; a fresh node becomes
+                // the new root.
+                let mut slabs = Slabs::with_capacity(2);
+                slabs.push(&ra);
+                slabs.push(&rb);
+                self.root = self.arena.alloc(Node {
+                    slabs,
+                    kind: Kind::Internal(vec![left, right]),
+                });
             }
             Overflow::Reinsert(evicted) => {
                 for e in evicted {
@@ -102,7 +133,14 @@ impl<T> RTree<T> {
         T: PartialEq,
     {
         let mut orphans: Vec<Entry<T>> = Vec::new();
-        let removed = remove_rec(&mut self.root, rect, item, &self.config, &mut orphans);
+        let removed = remove_rec(
+            &mut self.arena,
+            self.root,
+            rect,
+            item,
+            &self.config,
+            &mut orphans,
+        );
         if !removed {
             debug_assert!(orphans.is_empty());
             return false;
@@ -110,14 +148,18 @@ impl<T> RTree<T> {
         self.len -= 1;
         // Shrink the root while it is an internal node with one child.
         loop {
-            let replace = match &mut self.root {
-                Node::Internal(cs) if cs.len() == 1 => Some(*cs.pop().expect("len 1").node),
-                Node::Internal(cs) if cs.is_empty() => Some(Node::new_leaf()),
-                _ => None,
-            };
-            match replace {
-                Some(n) => self.root = n,
-                None => break,
+            let root = self.root;
+            match &self.arena.node(root).kind {
+                Kind::Internal(cs) if cs.len() == 1 => {
+                    let child = cs[0];
+                    self.arena.dealloc(root);
+                    self.root = child;
+                }
+                Kind::Internal(cs) if cs.is_empty() => {
+                    *self.arena.node_mut(root) = Node::new_leaf();
+                    break;
+                }
+                _ => break,
             }
         }
         // Reinsert orphaned entries (they are already counted in len).
@@ -133,17 +175,22 @@ impl<T> RTree<T> {
     /// takes all its objects out, splits them in two halves, keeps one and
     /// ships the other to the new server.
     pub fn drain_all(&mut self) -> Vec<Entry<T>> {
-        let root = std::mem::replace(&mut self.root, Node::new_leaf());
-        self.len = 0;
         let mut out = Vec::new();
-        collect_entries(root, &mut out);
+        let root = self.root;
+        collect_entries(&mut self.arena, root, &mut out);
+        // Start from a fresh arena so the drained tree releases the old
+        // node storage instead of keeping every slot on the free list.
+        self.arena = Arena::new();
+        self.root = self.arena.alloc(Node::new_leaf());
+        self.len = 0;
         out
     }
 
     /// Iterates over all entries (arbitrary order).
     pub fn iter(&self) -> Iter<'_, T> {
         Iter {
-            stack: vec![&self.root],
+            arena: &self.arena,
+            stack: vec![self.root],
             leaf: [].iter(),
         }
     }
@@ -151,7 +198,8 @@ impl<T> RTree<T> {
 
 /// Iterator over every entry of an [`RTree`], in arbitrary order.
 pub struct Iter<'a, T> {
-    stack: Vec<&'a Node<T>>,
+    arena: &'a Arena<T>,
+    stack: Vec<NodeId>,
     leaf: std::slice::Iter<'a, Entry<T>>,
 }
 
@@ -163,77 +211,96 @@ impl<'a, T> Iterator for Iter<'a, T> {
             if let Some(e) = self.leaf.next() {
                 return Some(e);
             }
-            match self.stack.pop()? {
-                Node::Leaf(es) => self.leaf = es.iter(),
-                Node::Internal(cs) => {
-                    for c in cs {
-                        self.stack.push(&c.node);
-                    }
-                }
+            match &self.arena.node(self.stack.pop()?).kind {
+                Kind::Leaf(es) => self.leaf = es.iter(),
+                Kind::Internal(cs) => self.stack.extend_from_slice(cs),
             }
         }
     }
 }
 
-fn collect_entries<T>(node: Node<T>, out: &mut Vec<Entry<T>>) {
-    match node {
-        Node::Leaf(mut es) => out.append(&mut es),
-        Node::Internal(cs) => {
+/// Moves every entry under `id` into `out`, deallocating the subtree.
+fn collect_entries<T>(arena: &mut Arena<T>, id: NodeId, out: &mut Vec<Entry<T>>) {
+    match arena.dealloc(id).kind {
+        Kind::Leaf(mut es) => out.append(&mut es),
+        Kind::Internal(cs) => {
             for c in cs {
-                collect_entries(*c.node, out);
+                collect_entries(arena, c, out);
             }
         }
     }
-}
-
-/// Chooses the child needing the least enlargement to cover `rect`
-/// (ties: smallest area, then lowest index) — Guttman's ChooseSubtree.
-pub(crate) fn choose_subtree<T>(children: &[Child<T>], rect: &Rect) -> usize {
-    let mut best = 0usize;
-    let mut best_enl = f64::INFINITY;
-    let mut best_area = f64::INFINITY;
-    for (i, c) in children.iter().enumerate() {
-        let enl = c.rect.enlargement(rect);
-        let area = c.rect.area();
-        if enl < best_enl || (enl == best_enl && area < best_area) {
-            best = i;
-            best_enl = enl;
-            best_area = area;
-        }
-    }
-    best
 }
 
 /// Outcome of a recursive insert at one node.
 enum Overflow<T> {
     /// Fitted without structural change.
     None,
-    /// The node split; the caller replaces its child with the halves.
-    Split(Child<T>, Child<T>),
+    /// The node split. Its own slot was reused as the left half; the
+    /// right half is freshly allocated. The caller replaces its child
+    /// slot with the two (rect, id) pairs.
+    Split(Rect, NodeId, Rect, NodeId),
     /// Forced reinsertion: the leaf evicted its outliers; the caller
     /// recomputes rectangles along the path and re-inserts them at the
     /// root.
     Reinsert(Vec<Entry<T>>),
 }
 
+/// Splits the overflowing node `id` in place: its slot keeps the left
+/// group, the right group moves to a fresh node.
+fn split_node<T>(arena: &mut Arena<T>, id: NodeId, config: &RTreeConfig) -> Overflow<T> {
+    let node = arena.node_mut(id);
+    let slabs = std::mem::take(&mut node.slabs);
+    let (ga, gb) = split_ids(&slabs, config);
+    let (sa, sb) = gather_slabs(&slabs, &ga, &gb);
+    let ra = sa.mbb().expect("non-empty split half");
+    let rb = sb.mbb().expect("non-empty split half");
+    let right = match &mut node.kind {
+        Kind::Leaf(entries) => {
+            let (a, b) = gather(std::mem::take(entries), &ga, &gb);
+            *entries = a;
+            node.slabs = sa;
+            Node {
+                slabs: sb,
+                kind: Kind::Leaf(b),
+            }
+        }
+        Kind::Internal(children) => {
+            let (a, b) = gather(std::mem::take(children), &ga, &gb);
+            *children = a;
+            node.slabs = sa;
+            Node {
+                slabs: sb,
+                kind: Kind::Internal(b),
+            }
+        }
+    };
+    let right_id = arena.alloc(right);
+    Overflow::Split(ra, id, rb, right_id)
+}
+
 /// Recursive insert.
 fn insert_rec<T>(
-    node: &mut Node<T>,
+    arena: &mut Arena<T>,
+    id: NodeId,
     rect: Rect,
     entry: Entry<T>,
     config: &RTreeConfig,
     allow_reinsert: bool,
 ) -> Overflow<T> {
-    match node {
-        Node::Leaf(entries) => {
-            entries.push(entry);
-            if entries.len() > config.max_entries {
+    let node = arena.node_mut(id);
+    match &mut node.kind {
+        Kind::Leaf(_) => {
+            node.push_entry(entry);
+            if node.fanout() > config.max_entries {
                 if allow_reinsert {
                     // R\*-style forced reinsertion: evict the ~30 % of
                     // entries whose centers lie farthest from the node's
                     // center, keeping at least `m`.
-                    let mbb = Rect::mbb(entries.iter().map(|e| &e.rect)).expect("non-empty");
+                    let mbb = node.slabs.mbb().expect("non-empty");
                     let c = mbb.center();
+                    let Kind::Leaf(entries) = &mut node.kind else {
+                        unreachable!()
+                    };
                     let evict =
                         (entries.len() * 3 / 10).clamp(1, entries.len() - config.min_entries);
                     entries.sort_by(|a, b| {
@@ -242,59 +309,43 @@ fn insert_rec<T>(
                         db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
                     });
                     let evicted: Vec<Entry<T>> = entries.drain(..evict).collect();
+                    node.slabs = Slabs::from_rects(entries.iter().map(|e| &e.rect));
                     return Overflow::Reinsert(evicted);
                 }
-                let items = std::mem::take(entries);
-                let (a, b) = split(items, config);
-                let ra = Rect::mbb(a.iter().map(|e| &e.rect)).expect("non-empty split half");
-                let rb = Rect::mbb(b.iter().map(|e| &e.rect)).expect("non-empty split half");
-                Overflow::Split(
-                    Child {
-                        rect: ra,
-                        node: Box::new(Node::Leaf(a)),
-                    },
-                    Child {
-                        rect: rb,
-                        node: Box::new(Node::Leaf(b)),
-                    },
-                )
+                split_node(arena, id, config)
             } else {
                 Overflow::None
             }
         }
-        Node::Internal(children) => {
-            let idx = choose_subtree(children, &rect);
-            let result = insert_rec(&mut children[idx].node, rect, entry, config, allow_reinsert);
+        Kind::Internal(children) => {
+            let idx = node.slabs.choose_subtree(&rect);
+            let child = children[idx];
+            let result = insert_rec(arena, child, rect, entry, config, allow_reinsert);
             match result {
                 Overflow::None => {
-                    children[idx].rect.enlarge(&rect);
+                    arena.node_mut(id).slabs.enlarge(idx, &rect);
                     Overflow::None
                 }
                 Overflow::Reinsert(evicted) => {
                     // The child shrank: recompute its exact rectangle and
                     // keep bubbling the evicted entries to the root.
-                    children[idx].rect = children[idx].node.mbb().expect("leaf kept >= m entries");
+                    let mbb = arena.node(child).mbb().expect("leaf kept >= m entries");
+                    arena.node_mut(id).slabs.set(idx, &mbb);
                     Overflow::Reinsert(evicted)
                 }
-                Overflow::Split(left, right) => {
+                Overflow::Split(ra, left, rb, right) => {
+                    let node = arena.node_mut(id);
+                    let Kind::Internal(children) = &mut node.kind else {
+                        unreachable!()
+                    };
                     children.swap_remove(idx);
                     children.push(left);
                     children.push(right);
-                    if children.len() > config.max_entries {
-                        let items = std::mem::take(children);
-                        let (a, b) = split(items, config);
-                        let ra = Rect::mbb(a.iter().map(|c| &c.rect)).expect("non-empty");
-                        let rb = Rect::mbb(b.iter().map(|c| &c.rect)).expect("non-empty");
-                        Overflow::Split(
-                            Child {
-                                rect: ra,
-                                node: Box::new(Node::Internal(a)),
-                            },
-                            Child {
-                                rect: rb,
-                                node: Box::new(Node::Internal(b)),
-                            },
-                        )
+                    node.slabs.swap_remove(idx);
+                    node.slabs.push(&ra);
+                    node.slabs.push(&rb);
+                    if node.fanout() > config.max_entries {
+                        split_node(arena, id, config)
                     } else {
                         Overflow::None
                     }
@@ -307,42 +358,53 @@ fn insert_rec<T>(
 /// Recursive remove + condense. Returns whether the entry was found.
 /// Underflowing children are dissolved into `orphans`.
 fn remove_rec<T: PartialEq>(
-    node: &mut Node<T>,
+    arena: &mut Arena<T>,
+    id: NodeId,
     rect: &Rect,
     item: &T,
     config: &RTreeConfig,
     orphans: &mut Vec<Entry<T>>,
 ) -> bool {
-    match node {
-        Node::Leaf(entries) => {
-            if let Some(pos) = entries
-                .iter()
-                .position(|e| e.rect == *rect && e.item == *item)
-            {
+    let node = arena.node_mut(id);
+    match &mut node.kind {
+        Kind::Leaf(entries) => {
+            if let Some(pos) = node.slabs.position_eq(rect, |i| entries[i].item == *item) {
                 entries.swap_remove(pos);
+                node.slabs.swap_remove(pos);
                 true
             } else {
                 false
             }
         }
-        Node::Internal(children) => {
-            let mut found_at: Option<usize> = None;
-            #[allow(clippy::needless_range_loop)] // `children` is mutated in the loop body
-            for i in 0..children.len() {
-                if children[i].rect.contains(rect)
-                    && remove_rec(&mut children[i].node, rect, item, config, orphans)
-                {
-                    found_at = Some(i);
+        Kind::Internal(_) => {
+            let mut found_at: Option<(usize, NodeId)> = None;
+            for i in 0..arena.node(id).fanout() {
+                let (covers, child) = {
+                    let node = arena.node(id);
+                    let Kind::Internal(children) = &node.kind else {
+                        unreachable!()
+                    };
+                    (node.slabs.contains(i, rect), children[i])
+                };
+                if covers && remove_rec(arena, child, rect, item, config, orphans) {
+                    found_at = Some((i, child));
                     break;
                 }
             }
-            let Some(i) = found_at else { return false };
-            if children[i].node.fanout() < config.min_entries {
+            let Some((i, child)) = found_at else {
+                return false;
+            };
+            if arena.node(child).fanout() < config.min_entries {
                 // Dissolve the underflowing child.
-                let child = children.swap_remove(i);
-                collect_entries(*child.node, orphans);
-            } else if let Some(mbb) = children[i].node.mbb() {
-                children[i].rect = mbb;
+                let node = arena.node_mut(id);
+                let Kind::Internal(children) = &mut node.kind else {
+                    unreachable!()
+                };
+                children.swap_remove(i);
+                node.slabs.swap_remove(i);
+                collect_entries(arena, child, orphans);
+            } else if let Some(mbb) = arena.node(child).mbb() {
+                arena.node_mut(id).slabs.set(i, &mbb);
             }
             true
         }
@@ -459,6 +521,27 @@ mod tests {
         assert_eq!(t.search_window(&r).len(), 20);
         assert!(t.remove(&r, &13));
         assert_eq!(t.search_window(&r).len(), 19);
+    }
+
+    #[test]
+    fn arena_recycles_slots_under_churn() {
+        let mut t: RTree<usize> = RTree::new(RTreeConfig::with_max(4, SplitPolicy::Quadratic));
+        for round in 0..5usize {
+            for i in 0..200usize {
+                let x = ((i * 31 + round) % 40) as f64;
+                let y = ((i * 17) % 40) as f64;
+                t.insert(Rect::new(x, y, x + 0.5, y + 0.5), i);
+            }
+            for i in 0..200usize {
+                let x = ((i * 31 + round) % 40) as f64;
+                let y = ((i * 17) % 40) as f64;
+                assert!(t.remove(&Rect::new(x, y, x + 0.5, y + 0.5), &i));
+            }
+        }
+        assert!(t.is_empty());
+        let (slots, free) = t.arena.accounting();
+        // Everything but the root leaf must be back on the free list.
+        assert_eq!(slots - free, 1, "leaked arena slots");
     }
 }
 
