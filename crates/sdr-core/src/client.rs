@@ -22,6 +22,70 @@ use crate::node::Object;
 use sdr_det::{DetRng, Rng};
 use sdr_geom::{Point, Rect};
 
+/// Sender bookkeeping for the direct termination protocol (§4.3).
+///
+/// The paper's count-based accounting — each report carries its
+/// fan-out, stop once `received = 1 + Σ spawned` — assumes lossless
+/// delivery: if a report that spawned exactly one child is lost, the
+/// deficit on `received` and on `expected` cancel and the client
+/// accepts an incomplete answer *silently*. Tracking which servers owe
+/// a report closes that hole: every onward hop names its target server,
+/// the entry hop's report is explicitly marked, and completeness means
+/// every named server reported exactly as often as it was named. Any
+/// single loss, duplication, or forgery now leaves the two multisets
+/// unequal.
+#[derive(Clone, Debug, Default)]
+pub struct DirectAccounting {
+    expected: std::collections::HashMap<ServerId, i64>,
+    received: std::collections::HashMap<ServerId, i64>,
+    initial_reports: u32,
+}
+
+impl DirectAccounting {
+    /// Empty bookkeeping (nothing received, nothing owed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds the entry hop when the client itself addressed it (join
+    /// broadcasts start at the root, which the client knows; traversal
+    /// reports instead mark themselves via `initial`).
+    pub fn expect_entry(&mut self, server: ServerId) {
+        self.initial_reports += 1;
+        *self.expected.entry(server).or_insert(0) += 1;
+    }
+
+    /// Records one report from `sender` naming `spawned` onward servers;
+    /// `initial` marks the entry hop's report.
+    pub fn report(&mut self, sender: ServerId, spawned: &[ServerId], initial: bool) {
+        *self.received.entry(sender).or_insert(0) += 1;
+        if initial {
+            self.initial_reports += 1;
+            *self.expected.entry(sender).or_insert(0) += 1;
+        }
+        for s in spawned {
+            *self.expected.entry(*s).or_insert(0) += 1;
+        }
+    }
+
+    /// Whether the reports seen so far form one complete traversal.
+    pub fn is_complete(&self) -> bool {
+        self.initial_reports == 1 && self.received == self.expected
+    }
+
+    /// Panics unless the traversal is complete — the simulator client's
+    /// loud failure mode when fault injection loses a report.
+    pub fn assert_complete(&self, what: &str) {
+        assert!(
+            self.is_complete(),
+            "{what} termination incomplete: {} entry report(s), received {:?} of expected {:?}",
+            self.initial_reports,
+            self.received,
+            self.expected,
+        );
+    }
+}
+
 /// The addressing variant a client runs (§5).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Variant {
@@ -335,10 +399,10 @@ impl Client {
     fn collect_query_replies(&mut self, qid: QueryId, inbox: Vec<Message>) -> (Vec<Object>, bool) {
         let mut results: Vec<Object> = Vec::new();
         let mut direct = false;
-        let mut expected: i64 = 1;
-        let mut received: i64 = 0;
+        let mut acct = DirectAccounting::new();
         let mut got_aggregate = false;
         for msg in inbox {
+            let from = msg.from;
             match msg.payload {
                 Payload::QueryReport {
                     qid: rq,
@@ -347,8 +411,9 @@ impl Client {
                     trace,
                     direct: d,
                 } if rq == qid => {
-                    received += 1;
-                    expected += spawned as i64;
+                    if let Endpoint::Server(sender) = from {
+                        acct.report(sender, &spawned, d.is_some());
+                    }
                     results.extend(r);
                     if let Some(d) = d {
                         direct = d;
@@ -374,10 +439,7 @@ impl Client {
         }
         match self.protocol {
             ReplyProtocol::Direct => {
-                assert_eq!(
-                    received, expected,
-                    "direct termination protocol incomplete: {received} of {expected} reports"
-                );
+                acct.assert_complete("query");
             }
             ReplyProtocol::Probabilistic => {
                 // No completion bookkeeping: the result is whatever the
@@ -443,6 +505,7 @@ impl Client {
                         results_to: self.id,
                         iam_to,
                         trace: vec![],
+                        initial: true,
                     },
                 }
             }
@@ -450,19 +513,21 @@ impl Client {
         cluster.post(msg);
         let inbox = cluster.drain();
         let mut removed = false;
-        let mut expected: i64 = 1;
-        let mut received: i64 = 0;
+        let mut acct = DirectAccounting::new();
         for m in inbox {
+            let from = m.from;
             if let Payload::DeleteReport {
                 qid: rq,
                 removed: r,
                 spawned,
                 trace,
+                initial,
             } = m.payload
             {
                 if rq == qid {
-                    received += 1;
-                    expected += spawned as i64;
+                    if let Endpoint::Server(sender) = from {
+                        acct.report(sender, &spawned, initial);
+                    }
                     removed |= r;
                     if self.variant == Variant::ImClient {
                         self.image.absorb(&trace);
@@ -470,7 +535,7 @@ impl Client {
                 }
             }
         }
-        assert_eq!(received, expected, "delete termination incomplete");
+        acct.assert_complete("delete");
         (removed, cluster.stats.since(&snap).total)
     }
 }

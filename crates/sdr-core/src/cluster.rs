@@ -13,11 +13,32 @@
 //! the `sdr-net` TCP deployment instead.
 
 use crate::config::SdrConfig;
+use crate::fault::{FaultDecision, FaultInjector, FaultPlan};
 use crate::ids::{NodeRef, ServerId};
 use crate::msg::{Endpoint, Message};
 use crate::server::{Outbox, Server};
 use crate::stats::Stats;
 use std::collections::VecDeque;
+
+/// A queued message plus whether it is still eligible for fault
+/// injection. Messages re-injected *by* the fault layer (duplicates,
+/// expired delays, reordered messages) are exempt from further
+/// decisions, so a plan with extreme rates still terminates.
+#[derive(Debug)]
+struct Envelope {
+    msg: Message,
+    fresh: bool,
+}
+
+impl Envelope {
+    fn fresh(msg: Message) -> Self {
+        Envelope { msg, fresh: true }
+    }
+
+    fn faulted(msg: Message) -> Self {
+        Envelope { msg, fresh: false }
+    }
+}
 
 /// A simulated cluster of SD-Rtree servers.
 ///
@@ -32,10 +53,15 @@ use std::collections::VecDeque;
 #[derive(Debug)]
 pub struct Cluster {
     servers: Vec<Server>,
-    queue: VecDeque<Message>,
+    queue: VecDeque<Envelope>,
     /// Low-priority lane: drained one message at a time, only when the
     /// main queue is empty (see `Outbox::deferred`).
     deferred: VecDeque<Message>,
+    /// Messages held back by delay injection, with the number of
+    /// delivery events still to elapse before re-injection.
+    delayed: Vec<(Message, u32)>,
+    /// Deterministic fault injection (None: ideal lossless delivery).
+    faults: Option<FaultInjector>,
     /// Message counters (public: the benchmark harness reads them).
     pub stats: Stats,
     config: SdrConfig,
@@ -56,6 +82,8 @@ impl Cluster {
             servers: vec![Server::new(ServerId(0), config)],
             queue: VecDeque::new(),
             deferred: VecDeque::new(),
+            delayed: Vec::new(),
+            faults: None,
             stats: Stats::new(),
             config,
             root_cache: std::cell::Cell::new(ServerId(0)),
@@ -66,6 +94,20 @@ impl Cluster {
     /// Installs a message observer (see the `tap` field).
     pub fn set_tap(&mut self, tap: fn(&Message)) {
         self.tap = Some(tap);
+    }
+
+    /// Installs a deterministic fault plan: every subsequent delivery in
+    /// [`Cluster::drain`] passes through a seeded [`FaultInjector`], and
+    /// injected faults are counted in [`Cluster::stats`]. The run stays a
+    /// pure function of the workload and `seed` — replaying both yields
+    /// bit-identical fault counters and final structure.
+    pub fn install_faults(&mut self, plan: &FaultPlan, seed: u64) {
+        self.faults = Some(plan.injector(seed));
+    }
+
+    /// Removes the fault plan (delivery becomes ideal again).
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
     }
 
     /// The configuration servers run with.
@@ -166,43 +208,115 @@ impl Cluster {
 
     /// Enqueues a message originating at a client.
     pub fn post(&mut self, msg: Message) {
-        self.queue.push_back(msg);
+        self.queue.push_back(Envelope::fresh(msg));
     }
 
     /// Processes the queue to quiescence, returning every client-bound
     /// message encountered (the caller — a [`crate::client::Client`] —
     /// interprets acks, reports and IAMs).
+    ///
+    /// With a fault plan installed ([`Cluster::install_faults`]), every
+    /// fresh message passes through the injector at delivery time: drops
+    /// and corruptions discard it, duplicates re-enqueue a copy, delays
+    /// park it for N delivery events, reorders push it behind its
+    /// successor. Delayed messages still pending when the queues empty
+    /// are force-flushed, so `drain` always terminates with nothing held
+    /// back — the simulator's quiescence guarantee survives chaos mode.
     pub fn drain(&mut self) -> Vec<Message> {
         let mut to_clients = Vec::new();
-        while let Some(msg) = self.queue.pop_front().or_else(|| self.deferred.pop_front()) {
-            match msg.to {
-                Endpoint::Server(sid) => {
-                    let idx = sid.0 as usize;
-                    assert!(idx < self.servers.len(), "message to unknown server {sid}");
-                    // The paper's cost model: messages between nodes on
-                    // the same server are free.
-                    if msg.from != Endpoint::Server(sid) {
-                        self.stats.record_server_msg(sid, msg.payload.category());
-                        if let Some(tap) = self.tap {
-                            tap(&msg);
+        loop {
+            let env = match self.queue.pop_front() {
+                Some(env) => env,
+                None => match self.deferred.pop_front() {
+                    Some(msg) => Envelope::fresh(msg),
+                    None => {
+                        if self.delayed.is_empty() {
+                            break;
+                        }
+                        // Nothing else can tick the countdowns: flush.
+                        for (msg, _) in self.delayed.drain(..) {
+                            self.queue.push_back(Envelope::faulted(msg));
+                        }
+                        continue;
+                    }
+                },
+            };
+            let msg = env.msg;
+            if env.fresh {
+                if let Some(inj) = self.faults.as_mut() {
+                    match inj.decide(&msg, &mut self.stats) {
+                        FaultDecision::Deliver => {
+                            if inj.decide_corrupt(msg.payload.category(), &mut self.stats) {
+                                continue;
+                            }
+                        }
+                        FaultDecision::Drop => continue,
+                        FaultDecision::Duplicate => {
+                            self.queue.push_back(Envelope::faulted(msg.clone()));
+                        }
+                        FaultDecision::Delay(n) => {
+                            self.delayed.push((msg, n));
+                            continue;
+                        }
+                        FaultDecision::Reorder => {
+                            self.queue.push_back(Envelope::faulted(msg));
+                            continue;
                         }
                     }
-                    let mut out = Outbox::new(sid, self.servers.len() as u32);
-                    self.servers[idx].handle(msg.from, msg.payload, &mut out);
-                    for id in out.allocated {
-                        debug_assert_eq!(id.0 as usize, self.servers.len());
-                        self.servers.push(Server::bare(id, self.config));
-                    }
-                    self.queue.extend(out.msgs);
-                    self.deferred.extend(out.deferred);
-                }
-                Endpoint::Client(_) => {
-                    self.stats.record_client_msg();
-                    to_clients.push(msg);
                 }
             }
+            self.deliver(msg, &mut to_clients);
+            self.tick_delayed();
         }
         to_clients
+    }
+
+    /// Delivers one message to its endpoint.
+    fn deliver(&mut self, msg: Message, to_clients: &mut Vec<Message>) {
+        match msg.to {
+            Endpoint::Server(sid) => {
+                let idx = sid.0 as usize;
+                assert!(idx < self.servers.len(), "message to unknown server {sid}");
+                // The paper's cost model: messages between nodes on
+                // the same server are free.
+                if msg.from != Endpoint::Server(sid) {
+                    self.stats.record_server_msg(sid, msg.payload.category());
+                    if let Some(tap) = self.tap {
+                        tap(&msg);
+                    }
+                }
+                let mut out = Outbox::new(sid, self.servers.len() as u32);
+                self.servers[idx].handle(msg.from, msg.payload, &mut out);
+                for id in out.allocated {
+                    debug_assert_eq!(id.0 as usize, self.servers.len());
+                    self.servers.push(Server::bare(id, self.config));
+                }
+                self.queue.extend(out.msgs.into_iter().map(Envelope::fresh));
+                self.deferred.extend(out.deferred);
+            }
+            Endpoint::Client(_) => {
+                self.stats.record_client_msg();
+                to_clients.push(msg);
+            }
+        }
+    }
+
+    /// Counts one delivery event against every delayed message; expired
+    /// ones re-enter the queue, exempt from further injection.
+    fn tick_delayed(&mut self) {
+        if self.delayed.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].1 <= 1 {
+                let (msg, _) = self.delayed.remove(i);
+                self.queue.push_back(Envelope::faulted(msg));
+            } else {
+                self.delayed[i].1 -= 1;
+                i += 1;
+            }
+        }
     }
 
     // ------------------------------------------------------ inspection --
@@ -212,6 +326,53 @@ impl Cluster {
     /// Test-oriented; cost O(N · depth).
     pub fn check_invariants(&mut self) {
         crate::invariants::check_cluster(self);
+    }
+
+    /// A deterministic 64-bit digest of the whole distributed structure:
+    /// every server's routing node (children links, height, rectangle,
+    /// parent, OC table) and data node (rectangle, parent, OC table, and
+    /// all stored objects). Two clusters with identical structure hash
+    /// identically on every platform — the equality check behind the
+    /// chaos suite's bit-reproducibility assertions, cheap enough to
+    /// compare runs without serializing them.
+    pub fn structure_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write(self.servers.len() as u64);
+        for s in &self.servers {
+            h.write(u64::from(s.id.0));
+            match &s.routing {
+                None => h.write(u64::MAX),
+                Some(r) => {
+                    h.write(u64::from(r.height));
+                    h.rect(&r.dr);
+                    h.link(&r.left);
+                    h.link(&r.right);
+                    h.write(r.parent.map_or(u64::MAX, |p| u64::from(p.0)));
+                    h.oc(&r.oc);
+                }
+            }
+            match &s.data {
+                None => h.write(u64::MAX),
+                Some(d) => {
+                    match &d.dr {
+                        None => h.write(u64::MAX),
+                        Some(dr) => h.rect(dr),
+                    }
+                    h.write(d.parent.map_or(u64::MAX, |p| u64::from(p.0)));
+                    h.oc(&d.oc);
+                    // Sort by oid: the digest must not depend on the
+                    // local R-tree's internal entry order.
+                    let mut objs: Vec<_> = d.tree.iter().map(|e| (e.item, e.rect)).collect();
+                    objs.sort_by_key(|(oid, _)| *oid);
+                    h.write(objs.len() as u64);
+                    for (oid, rect) in objs {
+                        h.write(oid.0);
+                        h.rect(&rect);
+                    }
+                }
+            }
+        }
+        h.finish()
     }
 
     /// Brute-force scan of every stored object — the test oracle.
@@ -227,6 +388,55 @@ impl Cluster {
             }
         }
         out
+    }
+}
+
+/// FNV-1a, specialized to 64-bit words — platform-independent, no
+/// `DefaultHasher` whose algorithm std does not pin across releases.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn rect(&mut self, r: &sdr_geom::Rect) {
+        self.write(r.xmin.to_bits());
+        self.write(r.ymin.to_bits());
+        self.write(r.xmax.to_bits());
+        self.write(r.ymax.to_bits());
+    }
+
+    fn link(&mut self, l: &crate::link::Link) {
+        self.write(u64::from(l.node.server.0));
+        self.write(match l.node.kind {
+            crate::ids::NodeKind::Data => 0,
+            crate::ids::NodeKind::Routing => 1,
+        });
+        self.rect(&l.dr);
+        self.write(u64::from(l.height));
+    }
+
+    fn oc(&mut self, table: &crate::oc::OcTable) {
+        let mut entries: Vec<_> = table.entries().to_vec();
+        entries.sort_by_key(|e| e.ancestor.0);
+        self.write(entries.len() as u64);
+        for e in entries {
+            self.write(u64::from(e.ancestor.0));
+            self.link(&e.outer);
+            self.rect(&e.rect);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 

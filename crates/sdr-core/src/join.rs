@@ -97,9 +97,12 @@ impl Client {
         let inbox = cluster.drain();
 
         let mut pairs: Vec<(Oid, Oid)> = Vec::new();
-        let mut expected: i64 = 1;
-        let mut received: i64 = 0;
+        // The client addressed the root itself, so it seeds the entry
+        // hop; every report then names the servers still owed.
+        let mut acct = crate::client::DirectAccounting::new();
+        acct.expect_entry(root.server);
         for msg in inbox {
+            let from = msg.from;
             if let Payload::JoinReport {
                 qid: rq,
                 pairs: p,
@@ -108,8 +111,9 @@ impl Client {
             } = msg.payload
             {
                 if rq == qid {
-                    received += 1;
-                    expected += spawned as i64;
+                    if let crate::msg::Endpoint::Server(sender) = from {
+                        acct.report(sender, &spawned, false);
+                    }
                     pairs.extend(p);
                     if self.variant == Variant::ImClient {
                         self.image.absorb(&trace);
@@ -117,7 +121,7 @@ impl Client {
                 }
             }
         }
-        assert_eq!(received, expected, "join termination incomplete");
+        acct.assert_complete("join");
         pairs.sort_unstable();
         pairs.dedup();
         JoinOutcome {
@@ -165,7 +169,7 @@ impl Server {
         out: &mut Outbox,
     ) {
         self.append_iam(&mut trace);
-        let mut spawned = 0u32;
+        let mut spawned: Vec<crate::ids::ServerId> = Vec::new();
         let mut pairs: Vec<(Oid, Oid)> = Vec::new();
         // A dissolved node (elimination) must not silently drop its
         // subtree from the join: follow the tombstone, like queries do.
@@ -184,7 +188,7 @@ impl Server {
                         trace: trace.clone(),
                     },
                 );
-                spawned += 1;
+                spawned.push(t.server);
             }
             out.send(
                 Endpoint::Client(results_to),
@@ -210,7 +214,7 @@ impl Server {
                                 trace: trace.clone(),
                             },
                         );
-                        spawned += 1;
+                        spawned.push(child.node.server);
                     }
                 }
             }
@@ -252,7 +256,7 @@ impl Server {
                                 trace: trace.clone(),
                             },
                         );
-                        spawned += 1;
+                        spawned.push(ancestor.server);
                     }
                 }
             }
@@ -284,7 +288,7 @@ impl Server {
         out: &mut Outbox,
     ) {
         self.append_iam(&mut trace);
-        let mut spawned = 0u32;
+        let mut spawned: Vec<crate::ids::ServerId> = Vec::new();
         let mut pairs: Vec<(Oid, Oid)> = Vec::new();
 
         let forward = |target: NodeRef,
@@ -309,6 +313,7 @@ impl Server {
                     trace: trace.clone(),
                 },
             );
+            target.server
         };
 
         match target.kind {
@@ -329,14 +334,13 @@ impl Server {
                         // The region extends beyond this (since split)
                         // node; repair upward.
                         if let Some(parent) = d.parent {
-                            forward(
+                            spawned.push(forward(
                                 NodeRef::routing(parent),
                                 QueryMode::Ascend,
                                 &visited,
                                 target,
                                 out,
-                            );
-                            spawned += 1;
+                            ));
                         }
                     }
                 }
@@ -344,8 +348,7 @@ impl Server {
                     // Dissolved node: tombstone repair.
                     if let Some(t) = self.tombstone(NodeKind::Data) {
                         if !visited.contains(&t) {
-                            forward(t, QueryMode::Check, &visited, target, out);
-                            spawned += 1;
+                            spawned.push(forward(t, QueryMode::Check, &visited, target, out));
                         }
                     }
                 }
@@ -363,26 +366,29 @@ impl Server {
                         // losing pairs.
                         for child in [r.left, r.right] {
                             if child.dr.intersects(&region) {
-                                forward(child.node, QueryMode::Descend, &visited, target, out);
-                                spawned += 1;
+                                spawned.push(forward(
+                                    child.node,
+                                    QueryMode::Descend,
+                                    &visited,
+                                    target,
+                                    out,
+                                ));
                             }
                         }
                     } else if let Some(parent) = r.parent {
-                        forward(
+                        spawned.push(forward(
                             NodeRef::routing(parent),
                             QueryMode::Ascend,
                             &visited,
                             target,
                             out,
-                        );
-                        spawned += 1;
+                        ));
                     }
                 }
                 None => {
                     if let Some(t) = self.tombstone(NodeKind::Routing) {
                         if !visited.contains(&t) {
-                            forward(t, mode, &visited, target, out);
-                            spawned += 1;
+                            spawned.push(forward(t, mode, &visited, target, out));
                         }
                     }
                 }

@@ -63,6 +63,7 @@ mod bulk;
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod fault;
 pub mod ids;
 pub mod image;
 pub mod invariants;
@@ -78,9 +79,10 @@ pub mod server;
 pub mod stats;
 mod variant;
 
-pub use client::{Client, InsertOutcome, OidGen, QueryOutcome, Variant};
+pub use client::{Client, DirectAccounting, InsertOutcome, OidGen, QueryOutcome, Variant};
 pub use cluster::Cluster;
 pub use config::SdrConfig;
+pub use fault::{FaultDecision, FaultInjector, FaultPlan};
 pub use ids::{ClientId, NodeKind, NodeRef, Oid, QueryId, ServerId};
 pub use image::Image;
 pub use join::JoinOutcome;
@@ -90,4 +92,4 @@ pub use msg::{Endpoint, ImageHolder, Message, Payload, QueryKind, ReplyProtocol}
 pub use node::{DataNode, Object, RoutingNode, Side};
 pub use oc::{OcEntry, OcTable};
 pub use server::{Allocator, Outbox, Server};
-pub use stats::{MsgCategory, Stats};
+pub use stats::{FaultKind, MsgCategory, Stats};

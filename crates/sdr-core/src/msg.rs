@@ -411,14 +411,18 @@ pub enum Payload {
     /// A query traversal hop (point or window; all modes).
     Query(QueryMsg),
     /// Direct-protocol reply: one per server that processed a traversal
-    /// hop. `spawned` tells the client how many further hops to expect.
+    /// hop. `spawned` lists the servers the onward hops target, so the
+    /// client can verify *which* servers still owe a report — a plain
+    /// count would balance out (and silently lose results) whenever a
+    /// dropped report happened to have spawned exactly one child.
     QueryReport {
         /// The query.
         qid: QueryId,
         /// Matching objects found locally (empty for routing hops).
         results: Vec<Object>,
-        /// Number of onward traversal messages this hop emitted.
-        spawned: u32,
+        /// Servers targeted by the onward traversal messages this hop
+        /// emitted (one entry per message; repeats are legitimate).
+        spawned: Vec<ServerId>,
         /// Links collected on this hop (incremental IAM).
         trace: Trace,
         /// `Some(true)` if this was the initial hop and it was a direct
@@ -459,17 +463,24 @@ pub enum Payload {
         iam_to: ImageHolder,
         /// Collected links.
         trace: Trace,
+        /// Whether this is the first hop of the delete (echoed in the
+        /// report so the client can anchor its sender accounting even
+        /// when a contact server chose the entry point — IMSERVER).
+        initial: bool,
     },
-    /// Reply to a delete hop (direct protocol bookkeeping).
+    /// Reply to a delete hop (direct protocol bookkeeping; see
+    /// [`Payload::QueryReport`] for why `spawned` carries ids).
     DeleteReport {
         /// The delete instance.
         qid: QueryId,
         /// Whether this server removed the object.
         removed: bool,
-        /// Onward hops emitted.
-        spawned: u32,
+        /// Servers targeted by the onward hops this one emitted.
+        spawned: Vec<ServerId>,
         /// Links collected.
         trace: Trace,
+        /// Whether this report answers the initial hop.
+        initial: bool,
     },
     /// Node elimination (§3.3): the underflowing data node sends its
     /// remaining objects to its parent, which dissolves itself and
@@ -562,8 +573,9 @@ pub enum Payload {
         /// Intersecting pairs found at this hop, `(smaller, larger)` by
         /// oid.
         pairs: Vec<(Oid, Oid)>,
-        /// Onward messages emitted by this hop.
-        spawned: u32,
+        /// Servers targeted by the onward messages this hop emitted
+        /// (see [`Payload::QueryReport`]).
+        spawned: Vec<ServerId>,
         /// Links collected.
         trace: Trace,
     },
@@ -580,6 +592,47 @@ pub enum Payload {
 }
 
 impl Payload {
+    /// The variant's name, for tracing and fault-injection diagnostics.
+    /// Lives here — next to the enum — so the list can never drift from
+    /// the variants the way a transport-side copy could.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Payload::InsertAtLeaf { .. } => "InsertAtLeaf",
+            Payload::InsertAscend { .. } => "InsertAscend",
+            Payload::InsertDescend { .. } => "InsertDescend",
+            Payload::StoreAtLeaf { .. } => "StoreAtLeaf",
+            Payload::InsertAck { .. } => "InsertAck",
+            Payload::SplitCreate { .. } => "SplitCreate",
+            Payload::ChildSplit { .. } => "ChildSplit",
+            Payload::AdjustHeight { .. } => "AdjustHeight",
+            Payload::ChildRemoved { .. } => "ChildRemoved",
+            Payload::GatherRotation { .. } => "GatherRotation",
+            Payload::GatherRotationInner { .. } => "GatherRotationInner",
+            Payload::RotationInfo { .. } => "RotationInfo",
+            Payload::SetRouting { .. } => "SetRouting",
+            Payload::SetParent { .. } => "SetParent",
+            Payload::RefreshChild { .. } => "RefreshChild",
+            Payload::ReplaceChild { .. } => "ReplaceChild",
+            Payload::UpdateOc { .. } => "UpdateOc",
+            Payload::RefreshOc { .. } => "RefreshOc",
+            Payload::ShrinkChild { .. } => "ShrinkChild",
+            Payload::Query(_) => "Query",
+            Payload::QueryReport { .. } => "QueryReport",
+            Payload::QueryAggregate { .. } => "QueryAggregate",
+            Payload::Delete { .. } => "Delete",
+            Payload::DeleteReport { .. } => "DeleteReport",
+            Payload::Eliminate { .. } => "Eliminate",
+            Payload::ClearParent { .. } => "ClearParent",
+            Payload::DropOcAncestor { .. } => "DropOcAncestor",
+            Payload::KnnLocal { .. } => "KnnLocal",
+            Payload::KnnLocalReply { .. } => "KnnLocalReply",
+            Payload::JoinStart { .. } => "JoinStart",
+            Payload::JoinProbe { .. } => "JoinProbe",
+            Payload::JoinReport { .. } => "JoinReport",
+            Payload::Routed { .. } => "Routed",
+        }
+    }
+
     /// Coarse category for statistics, mirroring the cost decomposition
     /// of the paper's experiments (insertion vs adjustment vs rotation vs
     /// OC maintenance vs queries).

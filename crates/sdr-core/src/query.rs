@@ -79,8 +79,8 @@ impl Server {
                         .tombstone(NodeKind::Data)
                         .filter(|t| !q.visited.contains(t));
                     let spawned = match forward {
-                        Some(t) => self.forward_query(q, t, QueryMode::Check, q.region, out),
-                        None => 0,
+                        Some(t) => vec![self.forward_query(q, t, QueryMode::Check, q.region, out)],
+                        None => vec![],
                     };
                     return HopOutcome {
                         results: vec![],
@@ -97,7 +97,7 @@ impl Server {
                         // search.
                         HopOutcome {
                             results: local_search(d, q),
-                            spawned: 0,
+                            spawned: vec![],
                             direct: None,
                             iam_due: q.iam_carrier,
                         }
@@ -117,7 +117,7 @@ impl Server {
                         let parent = d.parent.expect("non-root data node has a parent");
                         let target = crate::ids::NodeRef::routing(parent);
                         let spawned =
-                            self.forward_query(q, target, QueryMode::Ascend, q.region, out);
+                            vec![self.forward_query(q, target, QueryMode::Ascend, q.region, out)];
                         HopOutcome {
                             results: vec![],
                             spawned,
@@ -134,8 +134,8 @@ impl Server {
                         .tombstone(NodeKind::Routing)
                         .filter(|t| !q.visited.contains(t));
                     let spawned = match forward {
-                        Some(t) => self.forward_query(q, t, q.mode, q.region, out),
-                        None => 0,
+                        Some(t) => vec![self.forward_query(q, t, q.mode, q.region, out)],
+                        None => vec![],
                     };
                     return HopOutcome {
                         results: vec![],
@@ -160,7 +160,7 @@ impl Server {
                         if r.dr.contains(&q.region) || r.is_root() {
                             let before = out.msgs.len();
                             let mut spawned = self.descend_children(q, out);
-                            spawned += self.forward_along_oc(q, out);
+                            spawned.extend(self.forward_along_oc(q, out));
                             // A repaired branch delegates its IAM duty
                             // down one descend path, so the image holder
                             // learns the whole corrected path.
@@ -175,8 +175,13 @@ impl Server {
                         } else {
                             let parent = r.parent.expect("non-root routing node has a parent");
                             let target = crate::ids::NodeRef::routing(parent);
-                            let spawned =
-                                self.forward_query(q, target, QueryMode::Ascend, q.region, out);
+                            let spawned = vec![self.forward_query(
+                                q,
+                                target,
+                                QueryMode::Ascend,
+                                q.region,
+                                out,
+                            )];
                             HopOutcome {
                                 results: vec![],
                                 spawned,
@@ -191,13 +196,13 @@ impl Server {
     }
 
     /// Descends into every child whose rectangle the query can match.
-    fn descend_children(&mut self, q: &QueryMsg, out: &mut Outbox) -> u32 {
+    fn descend_children(&mut self, q: &QueryMsg, out: &mut Outbox) -> Vec<crate::ids::ServerId> {
         let r = self.routing.as_ref().expect("descend at routing node");
         let children = [r.left, r.right];
-        let mut spawned = 0;
+        let mut spawned = Vec::new();
         for child in children {
             if q.query.intersects(&child.dr) {
-                spawned += self.forward_query(q, child.node, QueryMode::Descend, q.region, out);
+                spawned.push(self.forward_query(q, child.node, QueryMode::Descend, q.region, out));
             }
         }
         spawned
@@ -205,7 +210,7 @@ impl Server {
 
     /// Forwards along the current node's OC entries that the query can
     /// match, skipping already-visited nodes.
-    fn forward_along_oc(&mut self, q: &QueryMsg, out: &mut Outbox) -> u32 {
+    fn forward_along_oc(&mut self, q: &QueryMsg, out: &mut Outbox) -> Vec<crate::ids::ServerId> {
         let entries: Vec<crate::oc::OcEntry> = match q.target.kind {
             NodeKind::Data => self
                 .data
@@ -219,13 +224,13 @@ impl Server {
                 .unwrap_or_default(),
         };
         let qrect = q.query.rect();
-        let mut spawned = 0;
+        let mut spawned = Vec::new();
         for e in entries {
             if !q.query.intersects(&e.rect) || q.visited.contains(&e.outer.node) {
                 continue;
             }
             let region = e.rect.intersection(&qrect).expect("checked intersecting");
-            spawned += self.forward_query(q, e.outer.node, QueryMode::Check, region, out);
+            spawned.push(self.forward_query(q, e.outer.node, QueryMode::Check, region, out));
         }
         spawned
     }
@@ -241,7 +246,7 @@ impl Server {
         mode: QueryMode,
         region: sdr_geom::Rect,
         out: &mut Outbox,
-    ) -> u32 {
+    ) -> crate::ids::ServerId {
         let mut visited = q.visited.clone();
         if !visited.contains(&q.target) {
             visited.push(q.target);
@@ -273,7 +278,7 @@ impl Server {
                 trace: q.trace.clone(),
             }),
         );
-        1
+        target.server
     }
 
     /// Emits the reply for a processed hop, per the active termination
@@ -290,7 +295,7 @@ impl Server {
                         Payload::QueryReport {
                             qid: q.qid,
                             results: hop.results,
-                            spawned: 0,
+                            spawned: vec![],
                             trace: q.trace,
                             direct: hop.direct,
                         },
@@ -323,7 +328,7 @@ impl Server {
                             Payload::QueryReport {
                                 qid: q.qid,
                                 results: vec![],
-                                spawned: 0,
+                                spawned: vec![],
                                 trace: q.trace,
                                 direct: None,
                             },
@@ -332,7 +337,7 @@ impl Server {
                 }
             }
             ReplyProtocol::ReversePath => {
-                if hop.spawned == 0 {
+                if hop.spawned.is_empty() {
                     // Leaf of the traversal tree: answer immediately.
                     send_aggregate(
                         q.reply_via,
@@ -354,7 +359,7 @@ impl Server {
                     let key = self.pending.alloc_branch(self.id);
                     // Rewrite the just-emitted children so their
                     // aggregates come back to our fresh key.
-                    for m in out.msgs.iter_mut().rev().take(hop.spawned as usize) {
+                    for m in out.msgs.iter_mut().rev().take(hop.spawned.len()) {
                         if let Payload::Query(cq) = &mut m.payload {
                             if cq.qid == q.qid {
                                 cq.parent_branch = key;
@@ -365,7 +370,7 @@ impl Server {
                         key,
                         Pending {
                             qid: q.qid,
-                            remaining: hop.spawned,
+                            remaining: hop.spawned.len() as u32,
                             results: hop.results,
                             trace: q.trace,
                             reply_via: q.reply_via,
@@ -428,6 +433,7 @@ impl Server {
             results_to,
             iam_to,
             mut trace,
+            initial,
         } = payload
         else {
             unreachable!("on_delete only receives Delete payloads");
@@ -455,10 +461,11 @@ impl Server {
         // Process the hop but translate emissions into Delete messages.
         let before = out.msgs.len();
         let hop = self.process_query_hop(&mut shell, out);
-        let mut spawned = 0u32;
+        let mut spawned = Vec::new();
         for m in out.msgs.iter_mut().skip(before) {
             if let Payload::Query(cq) = &m.payload {
                 let cq = cq.clone();
+                spawned.push(cq.target.server);
                 m.payload = Payload::Delete {
                     obj,
                     qid,
@@ -469,8 +476,8 @@ impl Server {
                     results_to,
                     iam_to,
                     trace: cq.trace,
+                    initial: false,
                 };
-                spawned += 1;
             }
         }
         // Local removal if this hop searched a data node.
@@ -490,6 +497,7 @@ impl Server {
                 removed,
                 spawned,
                 trace,
+                initial,
             },
         );
     }
@@ -580,7 +588,7 @@ impl Server {
 
 struct HopOutcome {
     results: Vec<Object>,
-    spawned: u32,
+    spawned: Vec<crate::ids::ServerId>,
     direct: Option<bool>,
     /// Whether this hop must send the IAM to a server-held image (the
     /// IMSERVER contact): set at the terminal of a repaired branch so

@@ -49,7 +49,7 @@ impl MsgCategory {
         MsgCategory::Delete,
     ];
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             MsgCategory::Insert => 0,
             MsgCategory::Split => 1,
@@ -60,6 +60,45 @@ impl MsgCategory {
             MsgCategory::Reply => 6,
             MsgCategory::Iam => 7,
             MsgCategory::Delete => 8,
+        }
+    }
+}
+
+/// The kinds of message fault the deterministic chaos layer can inject
+/// (see [`crate::fault`]). Tracked per [`MsgCategory`] so a chaos run's
+/// full fault profile is observable — and comparable across replays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The message was discarded before delivery.
+    Drop,
+    /// The message was delivered twice.
+    Duplicate,
+    /// Delivery was postponed by N delivery events.
+    Delay,
+    /// The message was pushed behind the next pending message.
+    Reorder,
+    /// The message arrived but was unreadable at the receiver (simulated
+    /// frame corruption; equivalent to a drop at the receive side).
+    Corrupt,
+}
+
+impl FaultKind {
+    /// All fault kinds, for iteration/reporting.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Drop,
+        FaultKind::Duplicate,
+        FaultKind::Delay,
+        FaultKind::Reorder,
+        FaultKind::Corrupt,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::Drop => 0,
+            FaultKind::Duplicate => 1,
+            FaultKind::Delay => 2,
+            FaultKind::Reorder => 3,
+            FaultKind::Corrupt => 4,
         }
     }
 }
@@ -75,6 +114,11 @@ pub struct Stats {
     /// Messages addressed to clients (replies + IAMs), not part of the
     /// paper's cost metric but reported for completeness.
     to_clients: u64,
+    /// Injected faults, indexed `[FaultKind][MsgCategory]`. Zero unless a
+    /// fault plan is installed (see [`crate::fault`]).
+    faults: [[u64; 9]; 5],
+    /// Total injected faults across all kinds and categories.
+    faults_total: u64,
 }
 
 impl Stats {
@@ -97,6 +141,37 @@ impl Stats {
     /// Records a client-addressed message.
     pub fn record_client_msg(&mut self) {
         self.to_clients += 1;
+    }
+
+    /// Records one injected fault.
+    pub fn record_fault(&mut self, kind: FaultKind, category: MsgCategory) {
+        self.faults[kind.index()][category.index()] += 1;
+        self.faults_total += 1;
+    }
+
+    /// Total injected faults.
+    pub fn faults_total(&self) -> u64 {
+        self.faults_total
+    }
+
+    /// Injected faults of one kind, across all categories.
+    pub fn fault(&self, kind: FaultKind) -> u64 {
+        self.faults[kind.index()].iter().sum()
+    }
+
+    /// Injected faults of one kind in one category.
+    pub fn fault_in(&self, kind: FaultKind, category: MsgCategory) -> u64 {
+        self.faults[kind.index()][category.index()]
+    }
+
+    /// A flat copy of every fault counter, in a fixed (kind-major) order.
+    /// Chaos tests compare these across replays to prove a seeded run is
+    /// bit-reproducible.
+    pub fn fault_counters(&self) -> Vec<u64> {
+        self.faults
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .collect()
     }
 
     /// Total server-addressed messages.

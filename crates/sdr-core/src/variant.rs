@@ -138,6 +138,7 @@ pub(crate) fn route_from_server(
                     results_to,
                     iam_to,
                     trace: vec![],
+                    initial: true,
                 },
             );
         }

@@ -10,7 +10,7 @@ use sdr_core::ids::{ClientId, NodeRef, QueryId};
 use sdr_core::msg::{
     Endpoint, ImageHolder, Message, Payload, QueryKind, QueryMode, QueryMsg, ReplyProtocol,
 };
-use sdr_core::{Image, Object, ServerId};
+use sdr_core::{DirectAccounting, Image, Object, ServerId};
 use sdr_geom::{Point, Rect};
 use std::net::TcpListener;
 use std::sync::atomic::AtomicU32;
@@ -24,6 +24,12 @@ pub enum NetError {
     Io(std::io::Error),
     /// The termination protocol did not complete within the timeout.
     Timeout,
+    /// The deployment failed to deliver at least one message during the
+    /// operation (undeliverable frame, truncated/undecodable inbound
+    /// frame, or injected fault). Unlike [`NetError::Timeout`] this is
+    /// reported as soon as the failure is recorded — the operation's
+    /// effects may be partial, but never silently so.
+    Undeliverable,
 }
 
 impl From<std::io::Error> for NetError {
@@ -37,6 +43,9 @@ impl std::fmt::Display for NetError {
         match self {
             NetError::Io(e) => write!(f, "io error: {e}"),
             NetError::Timeout => write!(f, "query did not complete in time"),
+            NetError::Undeliverable => {
+                write!(f, "the deployment failed to deliver a message")
+            }
         }
     }
 }
@@ -54,9 +63,20 @@ pub struct NetClient {
     listener: TcpListener,
     deployment: Arc<Deployment>,
     next_qid: u64,
+    /// The deployment's delivery-failure count as of the last check, so
+    /// each client reports an advance exactly once (in a `Cell`: checks
+    /// happen inside `&self` receive/quiesce loops).
+    failures_seen: std::cell::Cell<u64>,
     /// How long to wait for the reply protocol to complete.
     pub timeout: Duration,
 }
+
+/// How long [`NetClient::insert`] keeps listening for a late
+/// acknowledgment after quiescence. Bounded: an insert with no pending
+/// ack costs exactly this much extra, and one grace period is the most
+/// any delivery-failure scenario may stall an operation beyond its own
+/// work.
+pub const ACK_GRACE: Duration = Duration::from_millis(5);
 
 impl NetClient {
     /// Connects a fresh client (empty image; server 0 as contact).
@@ -66,14 +86,35 @@ impl NetClient {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         deployment.register(Endpoint::Client(id), listener.local_addr()?.port());
         listener.set_nonblocking(true)?;
+        let failures_seen = std::cell::Cell::new(
+            deployment
+                .delivery_failures
+                .load(std::sync::atomic::Ordering::SeqCst),
+        );
         Ok(NetClient {
             id,
             image: Image::new(),
             listener,
             deployment,
             next_qid: 0,
+            failures_seen,
             timeout: Duration::from_secs(10),
         })
+    }
+
+    /// Fails fast if the deployment recorded new delivery failures since
+    /// this client last checked: the current operation may have lost a
+    /// message, and waiting for a timeout would misattribute the cause.
+    fn check_failures(&self) -> Result<(), NetError> {
+        let now = self
+            .deployment
+            .delivery_failures
+            .load(std::sync::atomic::Ordering::SeqCst);
+        if now != self.failures_seen.get() {
+            self.failures_seen.set(now);
+            return Err(NetError::Undeliverable);
+        }
+        Ok(())
     }
 
     /// The client's image (inspectable for convergence experiments).
@@ -107,10 +148,16 @@ impl NetClient {
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.check_failures()?;
                     if Instant::now() > deadline {
                         return Err(NetError::Timeout);
                     }
                     std::thread::sleep(Duration::from_millis(1));
+                    // An idle wait is a send event for the fault layer's
+                    // delay clock; without this, a delayed message that
+                    // nobody else's traffic ticks forward would stall
+                    // the receive loop out to its full timeout.
+                    self.deployment.flush_delayed(false);
                 }
                 Err(e) => return Err(NetError::Io(e)),
             }
@@ -158,32 +205,51 @@ impl NetClient {
         // problem the paper leaves open (§6), so the client — like the
         // paper's own evaluation — issues one operation at a time.
         self.quiesce()?;
-        // Absorb pending acks/IAMs (direct inserts are never
-        // acknowledged, §3.2, so we do not insist on one).
-        while let Ok(Message { payload, .. }) = self.recv(Instant::now()) {
+        // Absorb pending acks/IAMs within a short bounded grace window
+        // (direct inserts are never acknowledged, §3.2, so we do not
+        // insist on one). A zero-grace read would lose an ack still in
+        // the kernel backlog and its IAM trace would never correct the
+        // image; stray acks that slip past even this window are folded
+        // in by the receive loops of later operations.
+        let grace = Instant::now() + ACK_GRACE;
+        while let Ok(Message { payload, .. }) = self.recv(grace) {
             if let Payload::InsertAck { trace, .. } = payload {
                 self.image.absorb(&trace);
+                break;
             }
         }
         Ok(())
     }
 
     /// Blocks until no server-bound message is in flight anywhere in the
-    /// deployment.
+    /// deployment — including messages parked by delay injection, which
+    /// are flushed once everything else has settled. Fails fast with
+    /// [`NetError::Undeliverable`] if the deployment recorded a delivery
+    /// failure, instead of hanging out the full timeout: a lost message
+    /// will never arrive, so there is nothing truthful to wait for.
     pub fn quiesce(&self) -> Result<(), NetError> {
         let deadline = Instant::now() + self.timeout;
-        while self
-            .deployment
-            .in_flight
-            .load(std::sync::atomic::Ordering::SeqCst)
-            != 0
-        {
-            if Instant::now() > deadline {
-                return Err(NetError::Timeout);
+        loop {
+            self.check_failures()?;
+            if self
+                .deployment
+                .in_flight
+                .load(std::sync::atomic::Ordering::SeqCst)
+                > 0
+            {
+                if Instant::now() > deadline {
+                    return Err(NetError::Timeout);
+                }
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
             }
-            std::thread::sleep(Duration::from_micros(200));
+            // Quiet on the wire: release anything the fault layer is
+            // still holding back, and wait again if that re-armed it.
+            if self.deployment.flush_delayed(true) > 0 {
+                continue;
+            }
+            return Ok(());
         }
-        Ok(())
     }
 
     /// Runs a point query and returns the matching objects.
@@ -226,29 +292,37 @@ impl NetClient {
             }),
         );
 
-        // Direct termination protocol: one report per hop; each report's
-        // fan-out tells us how many more to expect.
+        // Direct termination protocol: one report per hop; each report
+        // names the servers its onward hops target, and the traversal is
+        // complete only when every named server has reported (see
+        // `sdr_core::DirectAccounting` for why a bare fan-out count is
+        // not loss-safe).
         let deadline = Instant::now() + self.timeout;
-        let mut expected: i64 = 1;
-        let mut received: i64 = 0;
+        let mut acct = DirectAccounting::new();
         let mut results: Vec<Object> = Vec::new();
-        while received < expected {
+        while !acct.is_complete() {
             let msg = self.recv(deadline)?;
-            if let Payload::QueryReport {
-                qid: rq,
-                results: r,
-                spawned,
-                trace,
-                ..
-            } = msg.payload
-            {
-                if rq == qid {
-                    received += 1;
-                    expected += spawned as i64;
+            let from = msg.from;
+            match msg.payload {
+                Payload::QueryReport {
+                    qid: rq,
+                    results: r,
+                    spawned,
+                    trace,
+                    direct,
+                } if rq == qid => {
+                    if let Endpoint::Server(sender) = from {
+                        acct.report(sender, &spawned, direct.is_some());
+                    }
                     results.extend(r);
                     self.image.absorb(&trace);
                 }
-                // Replies from older queries (late branches) are dropped.
+                // Replies from older queries (late branches) drop.
+                // A stray ack from an earlier insert that outlived its
+                // grace window: fold its IAM into the image rather than
+                // discarding the correction.
+                Payload::InsertAck { trace, .. } => self.image.absorb(&trace),
+                _ => {}
             }
         }
         let mut seen = std::collections::HashSet::new();
@@ -285,8 +359,8 @@ impl NetClient {
         let mut radius = 0.01f64;
         loop {
             let msg = self.recv(deadline)?;
-            if let Payload::KnnLocalReply { qid: rq, items, dr } = msg.payload {
-                if rq == qid {
+            match msg.payload {
+                Payload::KnnLocalReply { qid: rq, items, dr } if rq == qid => {
                     if items.len() >= k {
                         radius = items[k - 1].1.max(1e-9);
                     } else if let Some(dr) = dr {
@@ -294,6 +368,9 @@ impl NetClient {
                     }
                     break;
                 }
+                // Stray ack from an earlier insert: fold in its IAM.
+                Payload::InsertAck { trace, .. } => self.image.absorb(&trace),
+                _ => {}
             }
         }
         // Phase 2: verification by expanding window queries.
@@ -334,27 +411,32 @@ impl NetClient {
                 results_to: self.id,
                 iam_to: ImageHolder::Client(self.id),
                 trace: vec![],
+                initial: true,
             },
         );
         let deadline = Instant::now() + self.timeout;
-        let mut expected: i64 = 1;
-        let mut received: i64 = 0;
+        let mut acct = DirectAccounting::new();
         let mut removed = false;
-        while received < expected {
+        while !acct.is_complete() {
             let msg = self.recv(deadline)?;
-            if let Payload::DeleteReport {
-                qid: rq,
-                removed: r,
-                spawned,
-                trace,
-            } = msg.payload
-            {
-                if rq == qid {
-                    received += 1;
-                    expected += spawned as i64;
+            let from = msg.from;
+            match msg.payload {
+                Payload::DeleteReport {
+                    qid: rq,
+                    removed: r,
+                    spawned,
+                    trace,
+                    initial,
+                } if rq == qid => {
+                    if let Endpoint::Server(sender) = from {
+                        acct.report(sender, &spawned, initial);
+                    }
                     removed |= r;
                     self.image.absorb(&trace);
                 }
+                // Stray ack from an earlier insert: fold in its IAM.
+                Payload::InsertAck { trace, .. } => self.image.absorb(&trace),
+                _ => {}
             }
         }
         // Deletion may trigger eliminations and rotations; quiesce.

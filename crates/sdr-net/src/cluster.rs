@@ -1,10 +1,34 @@
 //! Process-local deployment manager: launches the first node, hands out
 //! client connections, and shuts the whole deployment down.
 
-use crate::node::{spawn_node, Deployment};
-use sdr_core::{SdrConfig, ServerId};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::Arc;
+use crate::node::{spawn_node, Deployment, NetFaults};
+use sdr_core::msg::Endpoint;
+use sdr_core::{FaultPlan, SdrConfig, ServerId, Stats};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Deployment tuning knobs beyond the SD-Rtree configuration itself.
+#[derive(Clone, Debug)]
+pub struct NetOptions {
+    /// Deterministic fault plan plus its seed (`None`: faithful lossless
+    /// delivery). The same [`FaultPlan`] type drives the in-process
+    /// simulator; here it is threaded through `send_message` and the
+    /// frame-read path instead.
+    pub faults: Option<(FaultPlan, u64)>,
+    /// Connect attempts before a message is declared undeliverable.
+    /// The default matches the historical retry ladder (~2.5 s total);
+    /// fault tests lower it to fail fast.
+    pub send_attempts: u32,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            faults: None,
+            send_attempts: 50,
+        }
+    }
+}
 
 /// A running TCP deployment of the SD-Rtree on localhost.
 ///
@@ -19,14 +43,28 @@ pub struct NetCluster {
 impl NetCluster {
     /// Launches a deployment with a single empty server.
     pub fn launch(config: SdrConfig) -> std::io::Result<NetCluster> {
+        Self::launch_with(config, NetOptions::default())
+    }
+
+    /// Launches a deployment with explicit [`NetOptions`] (fault plan,
+    /// delivery-retry budget).
+    pub fn launch_with(config: SdrConfig, options: NetOptions) -> std::io::Result<NetCluster> {
         config.validate();
+        let faults = options.faults.map(|(plan, seed)| NetFaults {
+            injector: plan.injector(seed),
+            stats: Stats::new(),
+        });
         let deployment = Arc::new(Deployment {
             registry: std::sync::RwLock::new(std::collections::HashMap::new()),
             next_server: Arc::new(AtomicU32::new(1)),
             config,
             stop: Arc::new(AtomicBool::new(false)),
-            handle_lock: Arc::new(std::sync::Mutex::new(())),
+            handle_lock: Arc::new(Mutex::new(())),
             in_flight: Arc::new(std::sync::atomic::AtomicI64::new(0)),
+            delivery_failures: AtomicU64::new(0),
+            faults: Mutex::new(faults),
+            delayed: Mutex::new(Vec::new()),
+            send_attempts: options.send_attempts.max(1),
         });
         spawn_node(deployment.clone(), ServerId(0))?;
         Ok(NetCluster { deployment })
@@ -41,6 +79,42 @@ impl NetCluster {
     /// Number of servers spawned so far.
     pub fn num_servers(&self) -> usize {
         self.deployment.next_server.load(Ordering::SeqCst) as usize
+    }
+
+    /// Monotonic count of delivery failures: undeliverable frames,
+    /// truncated/undecodable inbound frames, and fault-injected losses.
+    pub fn delivery_failures(&self) -> u64 {
+        self.deployment.delivery_failures.load(Ordering::SeqCst)
+    }
+
+    /// Server-bound messages currently in flight (negative transients
+    /// only occur when raw, unsolicited frames hit a node listener).
+    pub fn in_flight(&self) -> i64 {
+        self.deployment.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// A snapshot of the injected-fault counters, if a fault plan is
+    /// installed (see [`sdr_core::Stats::fault_counters`]).
+    pub fn fault_stats(&self) -> Option<Stats> {
+        self.deployment
+            .faults
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|nf| nf.stats.clone())
+    }
+
+    /// The OS-assigned port a server's listener is bound to, if it is
+    /// registered. Exposed for fault tests that talk raw TCP to a node.
+    pub fn server_port(&self, id: ServerId) -> Option<u16> {
+        self.deployment.lookup(Endpoint::Server(id))
+    }
+
+    /// Removes a server from the address directory, simulating a
+    /// listener that died mid-run: subsequent messages to it exhaust
+    /// their connect attempts and surface as delivery failures.
+    pub fn deregister_server(&self, id: ServerId) {
+        self.deployment.deregister(Endpoint::Server(id));
     }
 
     /// Stops every node (their accept loops observe the flag within a

@@ -50,6 +50,6 @@ pub mod cluster;
 pub mod node;
 pub mod wire;
 
-pub use client::NetClient;
-pub use cluster::NetCluster;
+pub use client::{NetClient, NetError, ACK_GRACE};
+pub use cluster::{NetCluster, NetOptions};
 pub use wire::{decode_message, encode_message, WireError};

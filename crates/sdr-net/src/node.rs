@@ -15,12 +15,23 @@
 use crate::buf::ReadBuf;
 use crate::wire::{decode_message, encode_message};
 use sdr_core::msg::{Endpoint, Message};
-use sdr_core::{Allocator, Outbox, SdrConfig, Server, ServerId};
+use sdr_core::{Allocator, FaultInjector, Outbox, SdrConfig, Server, ServerId, Stats};
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Deterministic fault injection for the TCP substrate: the injector
+/// executing a [`sdr_core::FaultPlan`] plus its own fault counters
+/// (the deployment has no simulator `Stats`; this pair is the TCP
+/// equivalent). Shared behind one lock so decisions draw from a single
+/// seeded stream even with concurrent senders.
+#[derive(Debug)]
+pub(crate) struct NetFaults {
+    pub injector: FaultInjector,
+    pub stats: Stats,
+}
 
 /// Shared deployment state every node needs: the address directory, the
 /// server id allocator, and the shutdown flag.
@@ -51,12 +62,37 @@ pub(crate) struct Deployment {
     /// cannot deadlock.
     pub handle_lock: Arc<std::sync::Mutex<()>>,
     /// Server-bound messages sent but not yet fully handled. Clients
-    /// wait for this to reach zero between operations
+    /// wait for this to drop to zero between operations
     /// ([`crate::NetClient::quiesce`]), reproducing the simulator's
     /// sequential-operation semantics over real sockets — overlapping
     /// maintenance chains are exactly the concurrency problem the paper
     /// leaves open.
+    ///
+    /// Every delivery path keeps the pairing exact: the sender
+    /// increments when it commits to a server-bound frame, and the
+    /// receiver decrements once — after handling it, or on *any* failure
+    /// to read/decode it (the failure path also bumps
+    /// [`Deployment::delivery_failures`], so the loss is observable).
+    /// Unsolicited frames (raw connections that never went through
+    /// `send_message`) can push the count transiently below zero, which
+    /// is why quiescence tests `> 0`, not `!= 0`.
     pub in_flight: Arc<std::sync::atomic::AtomicI64>,
+    /// Monotonic count of messages this deployment failed to deliver:
+    /// frames undeliverable after every connect attempt, frames that
+    /// arrived truncated/undecodable, and fault-injected losses. Clients
+    /// snapshot it per operation; any advance surfaces as
+    /// [`crate::client::NetError::Undeliverable`] instead of a silent
+    /// drop or a hang-until-timeout.
+    pub delivery_failures: AtomicU64,
+    /// Deterministic fault injection (`None` in normal deployments).
+    pub faults: Mutex<Option<NetFaults>>,
+    /// Messages held back by delay/reorder injection, with the number of
+    /// send events still to elapse before transmission.
+    pub delayed: Mutex<Vec<(Message, u32)>>,
+    /// Connect attempts `send_message` makes before declaring a message
+    /// undeliverable (the retry ladder sleeps `2ms * attempt` between
+    /// tries). Tunable so fault tests fail fast instead of in seconds.
+    pub send_attempts: u32,
 }
 
 impl Deployment {
@@ -75,6 +111,49 @@ impl Deployment {
             .unwrap_or_else(|e| e.into_inner())
             .get(&endpoint)
             .copied()
+    }
+
+    /// Removes an endpoint from the directory (fault-injection hook:
+    /// simulates a listener that died mid-run).
+    pub fn deregister(&self, endpoint: Endpoint) {
+        self.registry
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&endpoint);
+    }
+
+    /// Counts one failed delivery.
+    pub fn record_delivery_failure(&self) {
+        self.delivery_failures.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Ticks the delay buffer by one send event and transmits every
+    /// expired message (with `force`, all of them). Returns how many
+    /// were sent. Re-injected messages bypass further fault decisions,
+    /// mirroring the simulator's exemption rule.
+    pub fn flush_delayed(&self, force: bool) -> usize {
+        let expired: Vec<Message> = {
+            let mut delayed = self.delayed.lock().unwrap_or_else(|e| e.into_inner());
+            if delayed.is_empty() {
+                return 0;
+            }
+            let mut expired = Vec::new();
+            delayed.retain_mut(|(msg, countdown)| {
+                if force || *countdown <= 1 {
+                    expired.push(msg.clone());
+                    false
+                } else {
+                    *countdown -= 1;
+                    true
+                }
+            });
+            expired
+        };
+        let n = expired.len();
+        for msg in &expired {
+            transmit(self, msg);
+        }
+        n
     }
 }
 
@@ -96,20 +175,74 @@ pub(crate) fn spawn_node(deployment: Arc<Deployment>, id: ServerId) -> std::io::
     Ok(())
 }
 
+/// Backoff before retrying after a failed `accept`. Transient conditions
+/// (`ECONNABORTED` from a handshake the peer gave up on, `EMFILE`/
+/// `ENFILE` descriptor pressure, `EINTR`) clear themselves; the only
+/// legitimate way for a node to stop serving is the deployment's stop
+/// flag. Exponential up to a bound so a persistent error cannot spin a
+/// core, yet recovery is observed within `ACCEPT_BACKOFF_CAP`.
+pub(crate) fn accept_backoff(consecutive_errors: u32) -> Duration {
+    let ms = 1u64 << consecutive_errors.min(6);
+    Duration::from_millis(ms.min(ACCEPT_BACKOFF_CAP.as_millis() as u64))
+}
+
+/// The longest a node ever sleeps between accept retries.
+pub(crate) const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(50);
+
 fn accept_loop(deployment: Arc<Deployment>, listener: TcpListener, mut server: Server) {
+    let mut consecutive_errors: u32 = 0;
     while !deployment.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                if let Some(msg) = read_frame(stream) {
-                    handle_message(&deployment, &mut server, msg);
+                consecutive_errors = 0;
+                match read_frame(stream) {
+                    Some(msg) => {
+                        // Receive-side fault injection: the frame arrived
+                        // but is treated as unreadable.
+                        let corrupt = {
+                            let mut guard =
+                                deployment.faults.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.as_mut().is_some_and(|nf| {
+                                let category = msg.payload.category();
+                                nf.injector.decide_corrupt(category, &mut nf.stats)
+                            })
+                        };
+                        if corrupt {
+                            read_failure(&deployment);
+                        } else {
+                            handle_message(&deployment, &mut server, msg);
+                        }
+                    }
+                    // Timeout, truncation, or decode error: the frame is
+                    // lost, but the sender already counted it in
+                    // `in_flight` — settle the account and make the loss
+                    // observable instead of leaking the count and hanging
+                    // every subsequent quiesce.
+                    None => read_failure(&deployment),
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(1));
             }
-            Err(_) => break,
+            // Transient accept errors (ECONNABORTED, EMFILE, EINTR, ...)
+            // must not kill the server thread forever; retry with bounded
+            // backoff and let only the stop flag end the loop.
+            Err(_) => {
+                consecutive_errors = consecutive_errors.saturating_add(1);
+                std::thread::sleep(accept_backoff(consecutive_errors));
+            }
         }
     }
+}
+
+/// Books a server-bound frame that arrived but could not be processed:
+/// pairs off the sender's `in_flight` increment and counts the loss.
+/// Only `send_message` connects to node listeners, so every frame here
+/// was counted by a sender (unsolicited test frames drive the count
+/// transiently negative, which quiescence tolerates by testing `> 0`).
+fn read_failure(deployment: &Deployment) {
+    deployment.in_flight.fetch_sub(1, Ordering::SeqCst);
+    deployment.record_delivery_failure();
 }
 
 fn handle_message(deployment: &Arc<Deployment>, server: &mut Server, msg: Message) {
@@ -127,7 +260,7 @@ fn handle_message(deployment: &Arc<Deployment>, server: &mut Server, msg: Messag
                 % 100_000,
             server.id.0,
             msg.from,
-            payload_name(&msg.payload),
+            msg.payload.name(),
         );
     }
     let mut out =
@@ -152,54 +285,69 @@ fn handle_message(deployment: &Arc<Deployment>, server: &mut Server, msg: Messag
     deployment.in_flight.fetch_sub(1, Ordering::SeqCst);
 }
 
-fn payload_name(p: &sdr_core::Payload) -> &'static str {
-    use sdr_core::Payload as P;
-    match p {
-        P::InsertAtLeaf { .. } => "InsertAtLeaf",
-        P::InsertAscend { .. } => "InsertAscend",
-        P::InsertDescend { .. } => "InsertDescend",
-        P::StoreAtLeaf { .. } => "StoreAtLeaf",
-        P::InsertAck { .. } => "InsertAck",
-        P::SplitCreate { .. } => "SplitCreate",
-        P::ChildSplit { .. } => "ChildSplit",
-        P::AdjustHeight { .. } => "AdjustHeight",
-        P::ChildRemoved { .. } => "ChildRemoved",
-        P::GatherRotation { .. } => "GatherRotation",
-        P::GatherRotationInner { .. } => "GatherRotationInner",
-        P::RotationInfo { .. } => "RotationInfo",
-        P::SetRouting { .. } => "SetRouting",
-        P::SetParent { .. } => "SetParent",
-        P::RefreshChild { .. } => "RefreshChild",
-        P::ReplaceChild { .. } => "ReplaceChild",
-        P::UpdateOc { .. } => "UpdateOc",
-        P::RefreshOc { .. } => "RefreshOc",
-        P::ShrinkChild { .. } => "ShrinkChild",
-        P::Query(_) => "Query",
-        P::QueryReport { .. } => "QueryReport",
-        P::QueryAggregate { .. } => "QueryAggregate",
-        P::Delete { .. } => "Delete",
-        P::DeleteReport { .. } => "DeleteReport",
-        P::Eliminate { .. } => "Eliminate",
-        P::ClearParent { .. } => "ClearParent",
-        P::DropOcAncestor { .. } => "DropOcAncestor",
-        P::KnnLocal { .. } => "KnnLocal",
-        P::KnnLocalReply { .. } => "KnnLocalReply",
-        P::JoinStart { .. } => "JoinStart",
-        P::JoinProbe { .. } => "JoinProbe",
-        P::JoinReport { .. } => "JoinReport",
-        P::Routed { .. } => "Routed",
+/// Dispatches one message: consults the fault plan (if any), then
+/// transmits — and ticks the delay buffer so postponed messages make
+/// progress with every send event.
+pub(crate) fn send_message(deployment: &Deployment, msg: &Message) {
+    let mut copies = 1u32;
+    {
+        let mut guard = deployment.faults.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(nf) = guard.as_mut() {
+            use sdr_core::FaultDecision as D;
+            match nf.injector.decide(msg, &mut nf.stats) {
+                D::Deliver => {}
+                D::Drop => {
+                    // An injected loss is still a loss the deployment
+                    // must own up to: count it so the client's next
+                    // check reports Undeliverable instead of the
+                    // operation silently half-happening.
+                    drop(guard);
+                    deployment.record_delivery_failure();
+                    deployment.flush_delayed(false);
+                    return;
+                }
+                D::Duplicate => copies = 2,
+                D::Delay(n) => {
+                    drop(guard);
+                    deployment
+                        .delayed
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((msg.clone(), n));
+                    return;
+                }
+                // Over TCP "reorder" degenerates to delay-by-one: the
+                // message goes out after the next send event.
+                D::Reorder => {
+                    drop(guard);
+                    deployment
+                        .delayed
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((msg.clone(), 1));
+                    return;
+                }
+            }
+        }
     }
+    for _ in 0..copies {
+        transmit(deployment, msg);
+    }
+    deployment.flush_delayed(false);
 }
 
 /// Delivers one message to its endpoint's port, retrying briefly (a
-/// freshly spawned node may still be binding).
-pub(crate) fn send_message(deployment: &Deployment, msg: &Message) {
+/// freshly spawned node may still be binding). A message that stays
+/// undeliverable after every attempt is counted on the deployment —
+/// never silently dropped — so clients report it as an explicit
+/// [`crate::client::NetError::Undeliverable`].
+fn transmit(deployment: &Deployment, msg: &Message) {
     let is_server_bound = matches!(msg.to, Endpoint::Server(_));
     if is_server_bound {
         deployment.in_flight.fetch_add(1, Ordering::SeqCst);
     }
     let frame = encode_message(msg);
-    for attempt in 0..50u64 {
+    for attempt in 0..u64::from(deployment.send_attempts) {
         // Resolve the port on every attempt: listeners register before
         // anything can address them, but a client may not have connected
         // yet when its first replies arrive.
@@ -213,7 +361,7 @@ pub(crate) fn send_message(deployment: &Deployment, msg: &Message) {
         }
         std::thread::sleep(Duration::from_millis(2 * (attempt + 1)));
     }
-    eprintln!("sdr-net: dropping undeliverable message to {:?}", msg.to);
+    deployment.record_delivery_failure();
     if is_server_bound {
         // Keep the quiescence accounting truthful.
         deployment.in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -221,6 +369,8 @@ pub(crate) fn send_message(deployment: &Deployment, msg: &Message) {
 }
 
 /// Reads one length-prefixed frame from a stream and decodes it.
+/// Returns `None` on timeout, truncation, oversize, or decode error;
+/// the caller owns the delivery accounting for that loss.
 pub(crate) fn read_frame(mut stream: TcpStream) -> Option<Message> {
     stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
     let mut len_buf = [0u8; 4];
@@ -232,4 +382,25 @@ pub(crate) fn read_frame(mut stream: TcpStream) -> Option<Message> {
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body).ok()?;
     decode_message(&mut ReadBuf::new(&body)).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_backoff_is_bounded_and_monotone() {
+        let mut prev = Duration::ZERO;
+        for n in 1..=64 {
+            let d = accept_backoff(n);
+            assert!(d >= prev, "backoff must not shrink");
+            assert!(d <= ACCEPT_BACKOFF_CAP, "backoff must stay bounded");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn accept_backoff_starts_small() {
+        assert!(accept_backoff(1) <= Duration::from_millis(2));
+    }
 }

@@ -194,6 +194,13 @@ fn put_visited(b: &mut WriteBuf, v: &[NodeRef]) {
     }
 }
 
+fn put_server_ids(b: &mut WriteBuf, v: &[ServerId]) {
+    b.put_u32(v.len() as u32);
+    for s in v {
+        b.put_u32(s.0);
+    }
+}
+
 fn put_query_msg(b: &mut WriteBuf, q: &QueryMsg) {
     put_node_ref(b, &q.target);
     put_query_kind(b, &q.query);
@@ -432,7 +439,7 @@ fn put_payload(b: &mut WriteBuf, p: &Payload) {
             b.put_u8(20);
             b.put_u64(qid.0);
             put_objects(b, results);
-            b.put_u32(*spawned);
+            put_server_ids(b, spawned);
             put_trace(b, trace);
             match direct {
                 Some(d) => {
@@ -464,6 +471,7 @@ fn put_payload(b: &mut WriteBuf, p: &Payload) {
             results_to,
             iam_to,
             trace,
+            initial,
         } => {
             b.put_u8(22);
             put_object(b, obj);
@@ -475,18 +483,21 @@ fn put_payload(b: &mut WriteBuf, p: &Payload) {
             b.put_u32(results_to.0);
             put_image_holder(b, iam_to);
             put_trace(b, trace);
+            b.put_u8(*initial as u8);
         }
         Payload::DeleteReport {
             qid,
             removed,
             spawned,
             trace,
+            initial,
         } => {
             b.put_u8(23);
             b.put_u64(qid.0);
             b.put_u8(*removed as u8);
-            b.put_u32(*spawned);
+            put_server_ids(b, spawned);
             put_trace(b, trace);
+            b.put_u8(*initial as u8);
         }
         Payload::Eliminate { child, objects } => {
             b.put_u8(24);
@@ -574,7 +585,7 @@ fn put_payload(b: &mut WriteBuf, p: &Payload) {
                 b.put_u64(a.0);
                 b.put_u64(bb.0);
             }
-            b.put_u32(*spawned);
+            put_server_ids(b, spawned);
             put_trace(b, trace);
         }
     }
@@ -745,6 +756,11 @@ fn get_visited(buf: &mut ReadBuf<'_>) -> Result<Vec<NodeRef>> {
     (0..n).map(|_| get_node_ref(buf)).collect()
 }
 
+fn get_server_ids(buf: &mut ReadBuf<'_>) -> Result<Vec<ServerId>> {
+    let n = get_count(buf)?;
+    (0..n).map(|_| Ok(ServerId(get_u32(buf)?))).collect()
+}
+
 fn get_query_msg(buf: &mut ReadBuf<'_>) -> Result<QueryMsg> {
     Ok(QueryMsg {
         target: get_node_ref(buf)?,
@@ -882,7 +898,7 @@ fn get_payload(buf: &mut ReadBuf<'_>) -> Result<Payload> {
         20 => Payload::QueryReport {
             qid: QueryId(get_u64(buf)?),
             results: get_objects(buf)?,
-            spawned: get_u32(buf)?,
+            spawned: get_server_ids(buf)?,
             trace: get_trace(buf)?,
             direct: if get_bool(buf)? {
                 Some(get_bool(buf)?)
@@ -906,12 +922,14 @@ fn get_payload(buf: &mut ReadBuf<'_>) -> Result<Payload> {
             results_to: ClientId(get_u32(buf)?),
             iam_to: get_image_holder(buf)?,
             trace: get_trace(buf)?,
+            initial: get_bool(buf)?,
         },
         23 => Payload::DeleteReport {
             qid: QueryId(get_u64(buf)?),
             removed: get_bool(buf)?,
-            spawned: get_u32(buf)?,
+            spawned: get_server_ids(buf)?,
             trace: get_trace(buf)?,
+            initial: get_bool(buf)?,
         },
         24 => Payload::Eliminate {
             child: get_node_ref(buf)?,
@@ -968,7 +986,7 @@ fn get_payload(buf: &mut ReadBuf<'_>) -> Result<Payload> {
                     .map(|_| Ok((Oid(get_u64(buf)?), Oid(get_u64(buf)?))))
                     .collect::<Result<Vec<_>>>()?
             },
-            spawned: get_u32(buf)?,
+            spawned: get_server_ids(buf)?,
             trace: get_trace(buf)?,
         },
         t => return Err(WireError::BadTag("payload", t)),
@@ -1068,7 +1086,7 @@ mod tests {
             payload: Payload::QueryReport {
                 qid: QueryId(5),
                 results: vec![Object::new(Oid(3), rect())],
-                spawned: 4,
+                spawned: vec![ServerId(4), ServerId(4), ServerId(9)],
                 trace: vec![],
                 direct: Some(false),
             },
@@ -1184,14 +1202,15 @@ mod tests {
             Payload::JoinReport {
                 qid: QueryId(4),
                 pairs: vec![(Oid(1), Oid(2)), (Oid(3), Oid(9))],
-                spawned: 2,
+                spawned: vec![ServerId(2), ServerId(5)],
                 trace: vec![],
             },
             Payload::DeleteReport {
                 qid: QueryId(2),
                 removed: true,
-                spawned: 0,
+                spawned: vec![],
                 trace: vec![],
+                initial: true,
             },
             Payload::QueryAggregate {
                 qid: QueryId(2),

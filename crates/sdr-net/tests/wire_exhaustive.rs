@@ -188,14 +188,14 @@ fn every_payload() -> Vec<Payload> {
         Payload::QueryReport {
             qid: QueryId(5),
             results: vec![obj(3)],
-            spawned: 4,
+            spawned: vec![ServerId(4), ServerId(0), ServerId(4)],
             trace: vec![link(1)],
             direct: Some(true),
         },
         Payload::QueryReport {
             qid: QueryId(5),
             results: vec![],
-            spawned: 0,
+            spawned: vec![],
             trace: vec![],
             direct: None,
         },
@@ -215,12 +215,14 @@ fn every_payload() -> Vec<Payload> {
             results_to: ClientId(2),
             iam_to: ImageHolder::Client(ClientId(2)),
             trace: vec![link(1)],
+            initial: true,
         },
         Payload::DeleteReport {
             qid: QueryId(2),
             removed: true,
-            spawned: 1,
+            spawned: vec![ServerId(3)],
             trace: vec![link(1)],
+            initial: false,
         },
         Payload::Eliminate {
             child: NodeRef::data(ServerId(1)),
@@ -284,7 +286,7 @@ fn every_payload() -> Vec<Payload> {
         Payload::JoinReport {
             qid: QueryId(4),
             pairs: vec![(Oid(1), Oid(2)), (Oid(3), Oid(9))],
-            spawned: 2,
+            spawned: vec![ServerId(2), ServerId(7)],
             trace: vec![link(1)],
         },
     ]

@@ -190,7 +190,7 @@ fn arb_payload() -> Gen<Payload> {
         arb_query_msg().map(Payload::Query),
         u64s()
             .zip(vecs_of(arb_object(), 0..10))
-            .zip(u32s().zip(arb_trace().zip(option_of(bools()))))
+            .zip(vecs_of(u32s().map(ServerId), 0..6).zip(arb_trace().zip(option_of(bools()))))
             .map(
                 |((qid, results), (spawned, (trace, direct)))| Payload::QueryReport {
                     qid: QueryId(qid),
