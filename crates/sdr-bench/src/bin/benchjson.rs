@@ -6,7 +6,12 @@
 //! A valid record is an object with a `"suite"` string and at least one
 //! of `"baseline"` / `"current"`, each mapping bench names to objects
 //! whose `min_ns` / `median_ns` / `p99_ns` are finite, ordered numbers.
+//!
+//! Every bench key must also appear in [`sdr_bench::registry`] — the
+//! hand-maintained list of live benches — so a renamed or deleted bench
+//! cannot leave a stale record that still validates.
 
+use sdr_bench::registry;
 use sdr_det::json::Json;
 use std::process::ExitCode;
 
@@ -45,6 +50,12 @@ fn check_file(path: &str) -> Result<String, String> {
         .get("suite")
         .and_then(Json::as_str)
         .ok_or("missing \"suite\" string")?;
+    if !registry::known_suites().contains(&suite) {
+        return Err(format!(
+            "suite {suite:?} is not in the bench registry (known: {})",
+            registry::known_suites().join(", ")
+        ));
+    }
 
     let mut sections = 0usize;
     let mut benches = 0usize;
@@ -60,6 +71,18 @@ fn check_file(path: &str) -> Result<String, String> {
                     return Err(format!("section {section:?} is empty"));
                 }
                 for (name, stats) in entries {
+                    if !registry::is_known_bench(name) {
+                        return Err(format!(
+                            "{section}/{name}: not in the bench registry — \
+                             stale record, or registry.rs needs updating"
+                        ));
+                    }
+                    if name.split('/').next() != Some(suite) {
+                        return Err(format!(
+                            "{section}/{name}: bench belongs to a different \
+                             suite than {suite:?}"
+                        ));
+                    }
                     check_bench(stats).map_err(|e| format!("{section}/{name}: {e}"))?;
                     benches += 1;
                 }

@@ -23,4 +23,5 @@
 #![warn(missing_docs)]
 
 pub mod exp;
+pub mod registry;
 pub use exp::common::{ExpConfig, Report};

@@ -1,0 +1,99 @@
+//! The canonical list of bench names, kept next to the suites that
+//! produce them so the `benchjson` validator can reject `BENCH_*.json`
+//! records whose keys no longer match a live bench. Renaming or
+//! deleting a bench without updating this list (and regenerating the
+//! JSON baselines) fails CI loudly instead of leaving stale numbers
+//! that look current.
+//!
+//! Maintained by hand on purpose: the diff of this file *is* the
+//! benchmark-surface change log reviewers see.
+
+/// Every bench name currently registered by the `sdr-bench` bench
+/// binaries, grouped by suite (the prefix before the first `/`).
+pub const KNOWN_BENCHES: &[&str] = &[
+    // benches/cluster_insert.rs + benches/cluster_query.rs
+    "cluster/insert_10k_Basic",
+    "cluster/insert_10k_ImClient",
+    "cluster/insert_10k_ImServer",
+    "cluster/point_query_Basic",
+    "cluster/point_query_ImClient",
+    "cluster/point_query_ImServer",
+    "cluster/window_query_Basic",
+    "cluster/window_query_ImClient",
+    "cluster/window_query_ImServer",
+    // benches/geom_ops.rs
+    "geom/enlargement_10k",
+    "geom/intersects_10k_pairs",
+    "geom/min_dist2_10k",
+    "geom/union_10k_pairs",
+    // benches/spatial_join.rs
+    "join/bruteforce_4k",
+    "join/distributed_4k",
+    // benches/rtree_ops.rs
+    "rtree/bulk_load_10k",
+    "rtree/insert_10k_Linear",
+    "rtree/insert_10k_Quadratic",
+    "rtree/insert_10k_RStar",
+    "rtree/knn_10",
+    "rtree/knn_10_100k",
+    "rtree/point_query",
+    "rtree/point_query_100k",
+    "rtree/window_query_100k",
+    "rtree/window_query_100k_small",
+    "rtree/window_query_10pct",
+    // benches/split_policies.rs
+    "split/partition_3k_Linear",
+    "split/partition_3k_Quadratic",
+    "split/partition_3k_RStar",
+    // benches/wire_codec.rs
+    "wire/decode_query",
+    "wire/decode_split_create_1500obj",
+    "wire/encode_query",
+    "wire/encode_split_create_1500obj",
+];
+
+/// Whether `name` is a bench the current suites produce.
+pub fn is_known_bench(name: &str) -> bool {
+    KNOWN_BENCHES.contains(&name)
+}
+
+/// The known suite prefixes (deduplicated, in registry order).
+pub fn known_suites() -> Vec<&'static str> {
+    let mut suites: Vec<&'static str> = KNOWN_BENCHES
+        .iter()
+        .filter_map(|n| n.split('/').next())
+        .collect();
+    suites.dedup();
+    suites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_within_suites_and_duplicate_free() {
+        let mut sorted = KNOWN_BENCHES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), KNOWN_BENCHES.len(), "duplicate bench name");
+    }
+
+    #[test]
+    fn every_name_has_a_suite_prefix() {
+        for n in KNOWN_BENCHES {
+            assert!(
+                n.split('/').count() >= 2 && !n.starts_with('/'),
+                "bench name {n:?} lacks a suite/ prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn suites_cover_the_bench_binaries() {
+        assert_eq!(
+            known_suites(),
+            ["cluster", "geom", "join", "rtree", "split", "wire"]
+        );
+    }
+}

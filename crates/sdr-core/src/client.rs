@@ -36,8 +36,8 @@ use sdr_geom::{Point, Rect};
 /// unequal.
 #[derive(Clone, Debug, Default)]
 pub struct DirectAccounting {
-    expected: std::collections::HashMap<ServerId, i64>,
-    received: std::collections::HashMap<ServerId, i64>,
+    expected: std::collections::BTreeMap<ServerId, i64>,
+    received: std::collections::BTreeMap<ServerId, i64>,
     initial_reports: u32,
 }
 
@@ -545,7 +545,7 @@ impl Client {
 /// after splits left stale outer links behind; the client-side merge
 /// makes the result a set, as the paper's termination protocols imply.
 pub(crate) fn dedup_objects(objects: &mut Vec<Object>) {
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     objects.retain(|o| seen.insert(o.oid));
 }
 

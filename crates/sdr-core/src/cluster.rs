@@ -123,6 +123,9 @@ impl Cluster {
 
     /// Read access to one server.
     pub fn server(&self, id: ServerId) -> &Server {
+        // sdr-lint: allow(panic-safety) — ServerIds are allocated densely
+        // by this cluster and servers are never removed; an out-of-range
+        // id is a local logic bug that must fail loudly.
         &self.servers[id.0 as usize]
     }
 
@@ -133,6 +136,8 @@ impl Cluster {
 
     /// Mutable access for in-process construction (bulk loading).
     pub(crate) fn server_mut(&mut self, id: ServerId) -> &mut Server {
+        // sdr-lint: allow(panic-safety) — same dense-allocation contract
+        // as `server()`: a bad id is a construction bug, panic wanted.
         &mut self.servers[id.0 as usize]
     }
 
@@ -186,6 +191,8 @@ impl Cluster {
     /// the parentless data node.
     pub fn root_node(&self) -> NodeRef {
         // Fast path: the cached server still hosts the routing root.
+        // sdr-lint: allow(panic-safety) — the cache only ever holds an id
+        // this cluster allocated, and servers are never removed.
         if let Some(node) = routing_root_on(&self.servers[self.root_cache.get().0 as usize]) {
             return node;
         }
@@ -203,6 +210,8 @@ impl Cluster {
                 }
             }
         }
+        // sdr-lint: allow(panic-safety) — structural invariant: server 0
+        // exists from construction and some node is always parentless.
         unreachable!("a non-empty cluster always has a root node");
     }
 
@@ -286,6 +295,7 @@ impl Cluster {
                     }
                 }
                 let mut out = Outbox::new(sid, self.servers.len() as u32);
+                // sdr-lint: allow(panic-safety) — idx bounds-asserted above
                 self.servers[idx].handle(msg.from, msg.payload, &mut out);
                 for id in out.allocated {
                     debug_assert_eq!(id.0 as usize, self.servers.len());
@@ -309,10 +319,12 @@ impl Cluster {
         }
         let mut i = 0;
         while i < self.delayed.len() {
+            // sdr-lint: allow(panic-safety) — i < len is the loop guard
             if self.delayed[i].1 <= 1 {
                 let (msg, _) = self.delayed.remove(i);
                 self.queue.push_back(Envelope::faulted(msg));
             } else {
+                // sdr-lint: allow(panic-safety) — i < len is the loop guard
                 self.delayed[i].1 -= 1;
                 i += 1;
             }

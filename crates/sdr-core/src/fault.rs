@@ -35,6 +35,8 @@ struct Rates {
 
 impl Rates {
     fn rate(&self, c: MsgCategory) -> f64 {
+        // sdr-lint: allow(panic-safety) — the array is sized to the
+        // MsgCategory count and index() maps each variant below it
         self.per[c.index()].unwrap_or(self.base)
     }
 
@@ -84,6 +86,7 @@ macro_rules! rate_setters {
 
         /// Overrides the probability of this fault for one category.
         pub fn $for_one(mut self, c: MsgCategory, p: f64) -> Self {
+            // sdr-lint: allow(panic-safety) — index() < category count
             self.$field.per[c.index()] = Some(p);
             self
         }

@@ -20,7 +20,7 @@ use crate::cluster::Cluster;
 use crate::ids::{NodeKind, NodeRef, ServerId};
 use crate::link::Link;
 use crate::oc::OcTable;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Runs every invariant check against a quiescent cluster.
 ///
@@ -29,7 +29,7 @@ use std::collections::HashSet;
 /// Panics with a description of the first violated invariant.
 pub fn check_cluster(cluster: &mut Cluster) {
     let root = cluster.root_node();
-    let mut visited: HashSet<NodeRef> = HashSet::new();
+    let mut visited: BTreeSet<NodeRef> = BTreeSet::new();
     check_node(cluster, root, None, None, &OcTable::new(), &mut visited);
 
     // Every initialized node must have been reached exactly once.
@@ -60,7 +60,7 @@ fn check_node(
     expected_parent: Option<ServerId>,
     expected_link: Option<Link>,
     expected_oc: &OcTable,
-    visited: &mut HashSet<NodeRef>,
+    visited: &mut BTreeSet<NodeRef>,
 ) -> u32 {
     assert!(visited.insert(node), "node {node} reachable twice");
     let server = cluster.server(node.server);

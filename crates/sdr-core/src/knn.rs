@@ -86,8 +86,8 @@ impl Client {
         let mut have_estimate = false;
         for m in inbox {
             if let Payload::KnnLocalReply { items, dr, .. } = m.payload {
-                if items.len() >= k {
-                    radius = items[k - 1].1;
+                if let Some(kth) = k.checked_sub(1).and_then(|i| items.get(i)) {
+                    radius = kth.1;
                     have_estimate = true;
                 } else if let Some(dr) = dr {
                     // Fewer than k local objects: start from the node's

@@ -26,14 +26,14 @@ use crate::msg::{Endpoint, ImageHolder, Payload, QueryMode, QueryMsg, ReplyProto
 use crate::node::Object;
 use crate::server::{Outbox, Server};
 use sdr_geom::Point;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-server state for the reverse-path termination protocol: one entry
 /// per inbound traversal hop that spawned children, keyed by this hop's
 /// branch token.
 #[derive(Clone, Debug, Default)]
 pub struct PendingAggregates {
-    entries: HashMap<u64, Pending>,
+    entries: BTreeMap<u64, Pending>,
     next_branch: u64,
 }
 
@@ -114,6 +114,8 @@ impl Server {
                     }
                     QueryMode::Check | QueryMode::Ascend => {
                         // Out of range: climb (§4.1 case (ii)).
+                        // sdr-lint: allow(panic-safety) — a root data node
+                        // is never out of range for its own query
                         let parent = d.parent.expect("non-root data node has a parent");
                         let target = crate::ids::NodeRef::routing(parent);
                         let spawned =
@@ -173,6 +175,8 @@ impl Server {
                                 iam_due: owes_iam && !delegated,
                             }
                         } else {
+                            // sdr-lint: allow(panic-safety) — this branch
+                            // is the !is_root() arm
                             let parent = r.parent.expect("non-root routing node has a parent");
                             let target = crate::ids::NodeRef::routing(parent);
                             let spawned = vec![self.forward_query(
@@ -197,6 +201,8 @@ impl Server {
 
     /// Descends into every child whose rectangle the query can match.
     fn descend_children(&mut self, q: &QueryMsg, out: &mut Outbox) -> Vec<crate::ids::ServerId> {
+        // sdr-lint: allow(panic-safety) — descend_children is reached only
+        // through the NodeKind::Routing handler arm
         let r = self.routing.as_ref().expect("descend at routing node");
         let children = [r.left, r.right];
         let mut spawned = Vec::new();
@@ -229,6 +235,7 @@ impl Server {
             if !q.query.intersects(&e.rect) || q.visited.contains(&e.outer.node) {
                 continue;
             }
+            // sdr-lint: allow(panic-safety) — intersects() checked above
             let region = e.rect.intersection(&qrect).expect("checked intersecting");
             spawned.push(self.forward_query(q, e.outer.node, QueryMode::Check, region, out));
         }
@@ -404,6 +411,8 @@ impl Server {
                 .pending
                 .entries
                 .remove(&parent_branch)
+                // sdr-lint: allow(panic-safety) — the same key was just
+                // read through get_mut to decrement `remaining`
                 .expect("present");
             send_aggregate(
                 entry.reply_via,
@@ -436,6 +445,8 @@ impl Server {
             initial,
         } = payload
         else {
+            // sdr-lint: allow(panic-safety) — the dispatcher matches on
+            // the Delete variant before calling on_delete
             unreachable!("on_delete only receives Delete payloads");
         };
         self.append_iam(&mut trace);

@@ -1,0 +1,122 @@
+//! Allow-annotation parsing.
+//!
+//! A rule violation is suppressed by an adjacent annotation comment:
+//!
+//! ```text
+//! // sdr-lint: allow(panic-safety) — guarded by the len check above
+//! let first = items[0];
+//! ```
+//!
+//! The annotation applies to its own line (trailing form) and to the
+//! next line that carries code. Every annotation **must** give a
+//! non-empty reason after the rule name, separated by `—`, `--`, `-`,
+//! or `:`; an annotation without one does not suppress anything and is
+//! itself reported under the un-allowable `allow-reason` rule.
+
+use crate::lexer::Comment;
+
+/// One parsed `sdr-lint: allow(...)` annotation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule being allowed.
+    pub rule: String,
+    /// The justification text (may be empty — then the annotation is
+    /// invalid and reported).
+    pub reason: String,
+    /// 1-based line of the annotation comment.
+    pub line: u32,
+}
+
+/// Extracts every `sdr-lint: allow(rule) — reason` annotation from the
+/// file's comments. Unparsable markers (an `sdr-lint:` comment that
+/// doesn't match the grammar) are returned as an [`Allow`] with an
+/// empty rule so the caller can flag them instead of silently ignoring
+/// a typo that the author believed was suppressing a finding.
+pub fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        // Doc-comment bodies start with an extra `/` or `!`; strip so
+        // `/// sdr-lint: …` also parses (it shouldn't be used there,
+        // but a typo'd location must not vanish silently).
+        let text = text.trim_start_matches(['/', '!']).trim();
+        let Some(rest) = text.strip_prefix("sdr-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let parsed = rest.strip_prefix("allow(").and_then(|r| {
+            let close = r.find(')')?;
+            let rule = r[..close].trim().to_string();
+            if rule.is_empty() {
+                return None;
+            }
+            let mut reason = r[close + 1..].trim();
+            // Accept any of the separators, then require actual text.
+            for sep in ["—", "--", "-", ":"] {
+                if let Some(stripped) = reason.strip_prefix(sep) {
+                    reason = stripped.trim();
+                    break;
+                }
+            }
+            Some(Allow {
+                rule,
+                reason: reason.to_string(),
+                line: c.line,
+            })
+        });
+        out.push(parsed.unwrap_or(Allow {
+            rule: String::new(),
+            reason: String::new(),
+            line: c.line,
+        }));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_rule_and_reason() {
+        let l = lex("// sdr-lint: allow(panic-safety) — bounds checked above\nlet x = v[0];");
+        let allows = parse_allows(&l.comments);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "panic-safety");
+        assert_eq!(allows[0].reason, "bounds checked above");
+        assert_eq!(allows[0].line, 1);
+    }
+
+    #[test]
+    fn ascii_separators_work() {
+        for src in [
+            "// sdr-lint: allow(determinism) -- keyed iteration never escapes",
+            "// sdr-lint: allow(determinism): keyed iteration never escapes",
+            "// sdr-lint: allow(determinism) - keyed iteration never escapes",
+        ] {
+            let allows = parse_allows(&lex(src).comments);
+            assert_eq!(allows[0].reason, "keyed iteration never escapes", "{src}");
+        }
+    }
+
+    #[test]
+    fn missing_reason_is_kept_but_empty() {
+        let allows = parse_allows(&lex("// sdr-lint: allow(panic-safety)").comments);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "panic-safety");
+        assert!(allows[0].reason.is_empty());
+    }
+
+    #[test]
+    fn malformed_marker_is_not_dropped() {
+        let allows = parse_allows(&lex("// sdr-lint: alow(panic-safety) — typo").comments);
+        assert_eq!(allows.len(), 1);
+        assert!(allows[0].rule.is_empty());
+    }
+
+    #[test]
+    fn unrelated_comments_ignored() {
+        assert!(parse_allows(&lex("// nothing to see\n// here").comments).is_empty());
+    }
+}

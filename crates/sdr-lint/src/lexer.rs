@@ -1,0 +1,495 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! `sdr-lint` needs just enough lexical structure to walk token
+//! sequences without being fooled by strings, comments, lifetimes, or
+//! `>>` inside generics — not a full parser. The lexer therefore emits
+//! a flat stream of [`Token`]s where:
+//!
+//! * identifiers and keywords are single [`TokKind::Ident`] tokens
+//!   (raw identifiers are normalized: `r#match` lexes as `match`);
+//! * every punctuation byte is its *own* [`TokKind::Punct`] token, so
+//!   `::` is two `:` tokens and `Vec<Vec<u8>>` closes with two plain
+//!   `>` tokens — rules match short sequences and never care about
+//!   multi-byte operators;
+//! * string/char/byte/numeric literals are opaque single tokens whose
+//!   contents can never be mistaken for code (`"call .unwrap() here"`
+//!   is one [`TokKind::Str`]);
+//! * comments do not produce tokens, but their text and line numbers
+//!   are collected separately so the allow-annotation layer
+//!   ([`crate::allow`]) can parse `// sdr-lint: allow(...)` markers.
+//!
+//! The grammar subset handled: nested block comments, line comments,
+//! raw strings with up to 255 `#`s, byte and C strings, char literals
+//! vs lifetimes (`'a'` vs `'a`), numeric literals with exponents and
+//! suffixes, raw identifiers, and shebang lines.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers normalized).
+    Ident,
+    /// A lifetime such as `'a` (the text excludes the quote).
+    Lifetime,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal, including suffixes (`42u32`, `1e-9`, `0xFF`).
+    Num,
+    /// One punctuation byte.
+    Punct,
+}
+
+/// One token with its source line (1-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// The token's text. For [`TokKind::Punct`] this is a single byte;
+    /// for literals it is the raw source slice.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation byte `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// A comment's text and position, kept for annotation parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment body, *excluding* the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus the comments encountered.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// All code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. The lexer is total: malformed input (an unclosed
+/// string, a stray byte) never panics — it degrades to punct tokens or
+/// swallows the rest of the file, which at worst costs a rule a match.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Lexed {
+        // A shebang line (`#!/usr/bin/env …`) is not Rust tokens.
+        if self.bytes.starts_with(b"#!") && !self.bytes.starts_with(b"#![") {
+            self.skip_to_eol();
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' => self.slash(),
+                b'\'' => self.quote(),
+                b'"' => self.string(self.pos),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident_or_prefixed(),
+                b'0'..=b'9' => self.number(),
+                _ => {
+                    // Multi-byte UTF-8 (e.g. an em-dash in a string
+                    // would have been consumed above; in code it can
+                    // only be garbage) — consume the whole char so we
+                    // never split a code point.
+                    let ch_len = utf8_len(b);
+                    if ch_len == 1 {
+                        self.push(TokKind::Punct, self.pos, self.pos + 1);
+                    }
+                    self.pos += ch_len;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, end: usize) {
+        self.out.tokens.push(Token {
+            kind,
+            text: String::from_utf8_lossy(&self.bytes[start..end]).into_owned(),
+            line: self.line,
+        });
+    }
+
+    fn skip_to_eol(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// `/` — comment or plain punct.
+    fn slash(&mut self) {
+        match self.peek(1) {
+            Some(b'/') => {
+                let start = self.pos + 2;
+                self.skip_to_eol();
+                self.out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned(),
+                    line: self.line,
+                });
+            }
+            Some(b'*') => {
+                let start = self.pos + 2;
+                let comment_line = self.line;
+                let mut depth = 1u32;
+                self.pos += 2;
+                while let Some(&b) = self.bytes.get(self.pos) {
+                    if b == b'*' && self.peek(1) == Some(b'/') {
+                        depth -= 1;
+                        self.pos += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if b == b'/' && self.peek(1) == Some(b'*') {
+                        depth += 1;
+                        self.pos += 2;
+                    } else {
+                        if b == b'\n' {
+                            self.line += 1;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                let end = self.pos.saturating_sub(2).max(start);
+                self.out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&self.bytes[start..end]).into_owned(),
+                    line: comment_line,
+                });
+            }
+            _ => {
+                self.push(TokKind::Punct, self.pos, self.pos + 1);
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// `'` — lifetime or char literal. `'a'` and `'\n'` are chars;
+    /// `'a`, `'static`, `'_` are lifetimes.
+    fn quote(&mut self) {
+        let start = self.pos;
+        let is_char = match self.peek(1) {
+            Some(b'\\') => true,
+            Some(c) if is_ident_byte(c) || !c.is_ascii() => {
+                // `'x'` is a char only when the closing quote follows
+                // one character; otherwise it's a lifetime. Multi-byte
+                // chars ('é') are chars, never lifetime starts.
+                if !c.is_ascii() {
+                    true
+                } else {
+                    self.peek(2) == Some(b'\'')
+                }
+            }
+            _ => true, // `'('`? treat as char-ish; consume minimally below
+        };
+        if is_char {
+            // Consume until the closing quote on the same logical
+            // literal (escapes respected).
+            self.pos += 1;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                match b {
+                    b'\\' => self.pos += 2,
+                    b'\'' => {
+                        self.pos += 1;
+                        break;
+                    }
+                    b'\n' => break, // malformed; don't run away
+                    _ => self.pos += utf8_len(b),
+                }
+            }
+            self.push(TokKind::Char, start, self.pos.min(self.bytes.len()));
+        } else {
+            self.pos += 1;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if is_ident_byte(b) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, start + 1, self.pos);
+        }
+    }
+
+    /// A plain `"…"` string with escapes. `open` is the index of the
+    /// opening quote.
+    fn string(&mut self, open: usize) {
+        let start_line = self.line;
+        self.pos = open + 1;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += utf8_len(b),
+            }
+        }
+        let end = self.pos.min(self.bytes.len());
+        self.out.tokens.push(Token {
+            kind: TokKind::Str,
+            text: String::from_utf8_lossy(&self.bytes[open..end]).into_owned(),
+            line: start_line,
+        });
+    }
+
+    /// `r"…"` / `r#"…"#` raw strings. `open` is the index of the `r`.
+    fn raw_string(&mut self, open: usize) {
+        let start_line = self.line;
+        self.pos = open + 1;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) != Some(b'"') {
+            // `r#foo` raw identifier landed here by mistake — caller
+            // prevents this, but stay total.
+            self.push(TokKind::Punct, open, open + 1);
+            self.pos = open + 1;
+            return;
+        }
+        self.pos += 1;
+        let closer: Vec<u8> = std::iter::once(b'"')
+            .chain(std::iter::repeat_n(b'#', hashes))
+            .collect();
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos..].starts_with(&closer) {
+                self.pos += closer.len();
+                break;
+            }
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            self.pos += utf8_len(self.bytes[self.pos]);
+        }
+        let end = self.pos.min(self.bytes.len());
+        self.out.tokens.push(Token {
+            kind: TokKind::Str,
+            text: String::from_utf8_lossy(&self.bytes[open..end]).into_owned(),
+            line: start_line,
+        });
+    }
+
+    /// Identifier, keyword, or a literal-prefix (`r"`, `b"`, `br#"`,
+    /// `b'`, `c"`, `r#ident`).
+    fn ident_or_prefixed(&mut self) {
+        let start = self.pos;
+        let b0 = self.bytes[self.pos];
+        // Raw identifier r#name.
+        if b0 == b'r' && self.peek(1) == Some(b'#') {
+            if let Some(c) = self.peek(2) {
+                if is_ident_start(c) {
+                    self.pos += 2;
+                    let id_start = self.pos;
+                    self.consume_ident();
+                    self.push(TokKind::Ident, id_start, self.pos);
+                    return;
+                }
+            }
+        }
+        // Raw string r" / r#".
+        if b0 == b'r' && matches!(self.peek(1), Some(b'"') | Some(b'#')) {
+            self.raw_string(start);
+            return;
+        }
+        // Byte / C-string prefixes: b" b' br" br#" c" cr"
+        if b0 == b'b' || b0 == b'c' {
+            match self.peek(1) {
+                Some(b'"') => {
+                    self.string(start + 1);
+                    self.retag_last_with_prefix(start);
+                    return;
+                }
+                Some(b'\'') if b0 == b'b' => {
+                    self.pos += 1;
+                    self.quote();
+                    self.retag_last_with_prefix(start);
+                    return;
+                }
+                Some(b'r') if matches!(self.peek(2), Some(b'"') | Some(b'#')) => {
+                    self.pos += 1;
+                    self.raw_string(self.pos);
+                    self.retag_last_with_prefix(start);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        self.consume_ident();
+        self.push(TokKind::Ident, start, self.pos);
+    }
+
+    /// Extends the literal token just pushed to include its prefix
+    /// bytes (`b`, `br`, `c`…) starting at `start`.
+    fn retag_last_with_prefix(&mut self, start: usize) {
+        if let Some(last) = self.out.tokens.last_mut() {
+            let prefix = String::from_utf8_lossy(&self.bytes[start..start + 1]).into_owned();
+            last.text = format!("{prefix}{}", last.text);
+        }
+    }
+
+    fn consume_ident(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if is_ident_byte(b) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut prev_exp = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'a'..=b'd' | b'f'..=b'z' | b'A'..=b'D' | b'F'..=b'Z' | b'_' => {
+                    self.pos += 1;
+                    prev_exp = false;
+                }
+                b'e' | b'E' => {
+                    self.pos += 1;
+                    prev_exp = true;
+                }
+                b'+' | b'-' if prev_exp => {
+                    // Exponent sign: only directly after e/E.
+                    self.pos += 1;
+                    prev_exp = false;
+                }
+                b'.' => {
+                    // `1.5` continues the number; `0..n` does not, and
+                    // neither does a method call `1.max(2)`.
+                    if matches!(self.peek(1), Some(b'0'..=b'9')) {
+                        self.pos += 1;
+                        prev_exp = false;
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.push(TokKind::Num, start, self.pos);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let l = lex(r#"let s = "do not .unwrap() here";"#);
+        assert!(!idents(r#"let s = "do not .unwrap() here";"#).contains(&"unwrap".to_string()));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let l = lex("// one\nlet x = 1; // two\n/* three\nspans */ let y = 2;");
+        assert_eq!(l.comments.len(), 3);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+        assert_eq!(l.comments[2].line, 3);
+        // Tokens after the block comment land on the right line.
+        let y = l.tokens.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!(y.line, 4);
+    }
+
+    #[test]
+    fn shift_right_is_two_puncts() {
+        let l = lex("Vec<Vec<u8>>");
+        let gts = l.tokens.iter().filter(|t| t.is_punct('>')).count();
+        assert_eq!(gts, 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! CLI for `sdr-lint`.
+//!
+//! ```text
+//! sdr-lint --workspace [ROOT]   scoped rules over the workspace sources
+//! sdr-lint --all FILE…          every rule on the given files (fixtures)
+//! ```
+//!
+//! Exit code 0 when clean, 1 on violations, 2 on usage/IO errors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--workspace") => {
+            let root = match args.get(1) {
+                Some(p) => PathBuf::from(p),
+                None => {
+                    let cwd = match std::env::current_dir() {
+                        Ok(c) => c,
+                        Err(e) => return fail(&format!("cannot read cwd: {e}")),
+                    };
+                    match sdr_lint::find_workspace_root(&cwd) {
+                        Some(r) => r,
+                        None => return fail("no workspace Cargo.toml found above cwd"),
+                    }
+                }
+            };
+            report(sdr_lint::lint_workspace(&root))
+        }
+        Some("--all") if args.len() > 1 => {
+            let paths: Vec<PathBuf> = args[1..].iter().map(PathBuf::from).collect();
+            report(sdr_lint::lint_paths_all_rules(&paths))
+        }
+        _ => fail("usage: sdr-lint --workspace [ROOT] | sdr-lint --all FILE..."),
+    }
+}
+
+fn report(result: std::io::Result<Vec<sdr_lint::rules::Violation>>) -> ExitCode {
+    match result {
+        Ok(violations) if violations.is_empty() => {
+            println!("sdr-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("sdr-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => fail(&format!("{e}")),
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("sdr-lint: error: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,17 @@
+//! Fixture: invalid annotations. A reason-less allow suppresses nothing
+//! and is itself flagged; so are typo'd markers and unknown rules.
+
+fn reasonless(v: &[u8]) -> u8 {
+    // sdr-lint: allow(panic-safety)
+    v.iter().copied().next().unwrap()
+}
+
+fn typod_marker(v: &[u8]) -> Option<u8> {
+    // sdr-lint: alow(panic-safety) — misspelled, must not vanish silently
+    v.first().copied()
+}
+
+fn unknown_rule(v: &[u8]) -> Option<u8> {
+    // sdr-lint: allow(no-such-rule) — rule name does not exist
+    v.first().copied()
+}

@@ -1,0 +1,17 @@
+//! Fixture: passes every rule (it is not a crate root, so the
+//! crate-hygiene headers are not required here).
+
+use std::collections::BTreeMap;
+
+pub fn sum_values(m: &BTreeMap<u32, u32>) -> u32 {
+    m.values().sum()
+}
+
+pub fn first_or_zero(v: &[u8]) -> u8 {
+    v.first().copied().unwrap_or(0)
+}
+
+// sdr-lint: allow(panic-safety) — fixture: a justified allow is valid
+pub fn justified(v: &[u8]) -> u8 {
+    v.iter().copied().next().unwrap_or(0)
+}

@@ -1,0 +1,44 @@
+//! Fixture: `Payload::Gamma` is encoded and named but never decoded —
+//! the codec-symmetry rule must flag `get_payload`.
+
+pub enum Payload {
+    Alpha { x: u8 },
+    Beta(u8),
+    Gamma,
+}
+
+impl Payload {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Payload::Alpha { .. } => "Alpha",
+            Payload::Beta(_) => "Beta",
+            Payload::Gamma => "Gamma",
+        }
+    }
+
+    pub fn category(&self) -> u8 {
+        match self {
+            Payload::Alpha { .. } | Payload::Beta(_) => 0,
+            Payload::Gamma => 1,
+        }
+    }
+}
+
+pub fn put_payload(p: &Payload, out: &mut Vec<u8>) {
+    match p {
+        Payload::Alpha { x } => out.extend([0, *x]),
+        Payload::Beta(x) => out.extend([1, *x]),
+        Payload::Gamma => out.push(2),
+    }
+}
+
+pub fn get_payload(bytes: &[u8]) -> Option<Payload> {
+    match bytes.first()? {
+        0 => Some(Payload::Alpha {
+            x: bytes.get(1).copied()?,
+        }),
+        1 => Some(Payload::Beta(bytes.get(1).copied()?)),
+        // BUG under test: tag 2 (Gamma) is missing.
+        _ => None,
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: a crate root with neither `#![forbid(unsafe_code)]` nor a
+//! `missing_docs` lint header — crate-hygiene must flag both.
+
+#![allow(dead_code)]
+
+pub fn f() -> u32 {
+    42
+}

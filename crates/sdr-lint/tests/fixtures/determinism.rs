@@ -1,0 +1,28 @@
+//! Fixture: every determinism violation shape. Never compiled — lexed
+//! by the rule-engine tests and the CLI exit-code test.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn clock_reads() -> u128 {
+    let started = std::time::Instant::now();
+    let _wall = std::time::SystemTime::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let _ambient = std::env::var("SDR_SEED");
+    started.elapsed().as_millis()
+}
+
+fn hash_iteration(m: &HashMap<u32, u32>, s: &HashSet<u32>) -> u32 {
+    m.values().sum::<u32>() + s.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: tests may use ambient state freely.
+    use std::collections::HashMap;
+
+    #[test]
+    fn fine_here() {
+        let _ = HashMap::<u32, u32>::new();
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture: a mutex guard held across `send_message` — plus the shapes
+//! that must NOT be flagged (scope exit, explicit drop, inner block).
+
+use std::sync::Mutex;
+
+fn held_across_send(m: &Mutex<u32>) {
+    let guard = m.lock().unwrap_or_else(|e| e.into_inner());
+    send_message(*guard);
+}
+
+fn dropped_before_send(m: &Mutex<u32>) {
+    let guard = m.lock().unwrap_or_else(|e| e.into_inner());
+    let v = *guard;
+    drop(guard);
+    send_message(v);
+}
+
+fn scoped_before_send(m: &Mutex<u32>) {
+    let v = {
+        let guard = m.lock().unwrap_or_else(|e| e.into_inner());
+        *guard
+    };
+    send_message(v);
+}
+
+fn send_message(_v: u32) {}

@@ -1,0 +1,36 @@
+//! Fixture: every panic-safety violation shape, plus the constructs the
+//! rule must NOT flag.
+
+fn panics(v: &[u8], r: Result<u8, ()>) -> u8 {
+    let a = v.first().unwrap();
+    let b = r.expect("always ok");
+    if v.is_empty() {
+        panic!("empty");
+    }
+    match a {
+        0 => unreachable!("zero handled earlier"),
+        _ => {}
+    }
+    v[0] + a + b
+}
+
+fn not_flagged() -> Vec<u8> {
+    // Slice pattern, macro, array type, literal array: none are indexing.
+    let [a, b] = [1u8, 2u8];
+    let v = vec![a, b];
+    let _slice: &[u8] = &[a];
+    let _ok = v.first().copied().unwrap_or_default();
+    v
+}
+
+// sdr-lint: allow(panic-safety) — fixture: annotated sites are exempt
+fn annotated(v: &[u8]) -> u8 { v.iter().copied().next().unwrap() }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = vec![1u8];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}

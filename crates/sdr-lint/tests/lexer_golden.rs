@@ -1,0 +1,155 @@
+//! Golden tests for the sdr-lint lexer on tricky Rust token streams.
+//! The rules are only as trustworthy as the lexer: a string mistaken
+//! for code (or code mistaken for a comment) turns into false
+//! positives/negatives, so the hard cases are pinned here.
+
+use sdr_lint::lexer::{lex, TokKind};
+
+/// (kind, text) pairs for compact golden assertions.
+fn toks(src: &str) -> Vec<(TokKind, String)> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .map(|t| (t.kind, t.text))
+        .collect()
+}
+
+fn texts(src: &str) -> Vec<String> {
+    lex(src).tokens.into_iter().map(|t| t.text).collect()
+}
+
+#[test]
+fn raw_strings_are_opaque() {
+    // The raw string contains what would otherwise be an unwrap call
+    // and a quote; none of it may leak into the token stream.
+    let src = r####"let s = r#"x.unwrap() " inner"#; done()"####;
+    let t = texts(src);
+    assert!(t.contains(&"done".to_string()));
+    assert!(!t.contains(&"unwrap".to_string()));
+    let strings: Vec<_> = lex(src)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .collect();
+    assert_eq!(strings.len(), 1);
+}
+
+#[test]
+fn multi_hash_raw_string_terminates_at_matching_hashes() {
+    let src = r#####"r##"contains "# inside"## after"#####;
+    let t = texts(src);
+    assert_eq!(t.last().map(String::as_str), Some("after"));
+}
+
+#[test]
+fn plain_string_escapes() {
+    // Escaped quote and backslash must not end the string early.
+    let src = r#"let s = "a\"b\\"; tail()"#;
+    let t = texts(src);
+    assert!(t.contains(&"tail".to_string()));
+    assert!(!t.contains(&"b".to_string()));
+}
+
+#[test]
+fn nested_generics_vs_shift() {
+    // Single-byte puncts: `>>` is two `>` tokens either way, so
+    // `Vec<Vec<u8>>` lexes without a generics/shift ambiguity.
+    let t = toks("let v: Vec<Vec<u8>> = x >> 2;");
+    let gt_count = t
+        .iter()
+        .filter(|(k, s)| *k == TokKind::Punct && s == ">")
+        .count();
+    // Two closing the nested generics, two forming the shift.
+    assert_eq!(gt_count, 4, "{t:?}");
+}
+
+#[test]
+fn lifetime_vs_char_literal() {
+    let t = toks("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+    let lifetimes: Vec<_> = t.iter().filter(|(k, _)| *k == TokKind::Lifetime).collect();
+    let chars: Vec<_> = t.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+    assert_eq!(lifetimes.len(), 2, "{t:?}");
+    assert_eq!(chars.len(), 2, "{t:?}");
+}
+
+#[test]
+fn comments_containing_code_produce_no_tokens() {
+    let src = "// x.unwrap() and HashMap here\n/* also\n * Instant::now()\n */\nreal();";
+    let l = lex(src);
+    let t: Vec<_> = l.tokens.iter().map(|t| t.text.clone()).collect();
+    assert!(!t.contains(&"unwrap".to_string()), "{t:?}");
+    assert!(!t.contains(&"HashMap".to_string()));
+    assert!(!t.contains(&"Instant".to_string()));
+    assert!(t.contains(&"real".to_string()));
+    // Comment text is preserved separately for annotation parsing.
+    assert!(l.comments.iter().any(|c| c.text.contains("unwrap")));
+}
+
+#[test]
+fn nested_block_comments() {
+    let src = "/* outer /* inner */ still comment */ after";
+    let t = texts(src);
+    assert_eq!(t, vec!["after"]);
+}
+
+#[test]
+fn line_numbers_survive_multiline_strings_and_comments() {
+    let src = "line1();\n\"str\nspanning\nlines\";\n/* c\nc */\nline7();";
+    let l = lex(src);
+    let line7 = l.tokens.iter().find(|t| t.text == "line7").unwrap();
+    assert_eq!(line7.line, 7);
+}
+
+#[test]
+fn raw_identifiers_lex_as_their_bare_name() {
+    let t = texts("let r#match = r#fn0;");
+    assert!(t.contains(&"match".to_string()), "{t:?}");
+}
+
+#[test]
+fn byte_and_cstr_prefixes() {
+    let src = "let a = b\"bytes\"; let c = b'x'; let s = br#\"raw\"#; end()";
+    let t = texts(src);
+    assert_eq!(t.last().map(String::as_str), Some(")"));
+    assert!(t.contains(&"end".to_string()));
+}
+
+#[test]
+fn float_vs_range_vs_method() {
+    // `1.5` one number; `0..n` range; `1.max` method on integer.
+    let t = toks("let a = 1.5; let r = 0..n; let m = 1.max(2);");
+    let nums: Vec<_> = t
+        .iter()
+        .filter(|(k, _)| *k == TokKind::Num)
+        .map(|(_, s)| s.clone())
+        .collect();
+    assert!(nums.contains(&"1.5".to_string()), "{nums:?}");
+    assert!(nums.contains(&"0".to_string()));
+    assert!(nums.contains(&"1".to_string()));
+    assert!(nums.contains(&"2".to_string()));
+}
+
+#[test]
+fn exponent_floats_stay_single_tokens() {
+    let t = toks("let x = 1.5e-3; let y = 2E+7;");
+    let nums: Vec<_> = t
+        .iter()
+        .filter(|(k, _)| *k == TokKind::Num)
+        .map(|(_, s)| s.clone())
+        .collect();
+    assert_eq!(nums, vec!["1.5e-3", "2E+7"], "{t:?}");
+}
+
+#[test]
+fn shebang_is_skipped() {
+    let t = texts("#!/usr/bin/env run-cargo-script\nfn main() {}");
+    assert_eq!(t.first().map(String::as_str), Some("fn"));
+}
+
+#[test]
+fn total_on_malformed_input() {
+    // Unterminated constructs must not panic or loop forever.
+    for src in ["\"unterminated", "r#\"never closed", "/* open", "'x", "b'"] {
+        let _ = lex(src);
+    }
+}

@@ -91,37 +91,36 @@ impl<'a> ReadBuf<'a> {
         self.data.len() - self.pos
     }
 
-    /// Consumes `n` bytes, or `None` if fewer remain.
+    /// Consumes `n` bytes, or `None` if fewer remain. Total: a corrupt
+    /// length can at worst return `None`, never slice out of range.
     fn take(&mut self, n: usize) -> Option<&'a [u8]> {
-        if self.remaining() < n {
-            return None;
-        }
-        let s = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n)?;
+        let s = self.data.get(self.pos..end)?;
+        self.pos = end;
         Some(s)
     }
 
     /// Consumes one byte.
     pub fn try_get_u8(&mut self) -> Option<u8> {
-        self.take(1).map(|s| s[0])
+        self.take(1).and_then(|s| s.first().copied())
     }
 
     /// Consumes a big-endian `u32`.
     pub fn try_get_u32(&mut self) -> Option<u32> {
-        self.take(4)
-            .map(|s| u32::from_be_bytes(s.try_into().expect("4 bytes")))
+        let bytes: [u8; 4] = self.take(4)?.try_into().ok()?;
+        Some(u32::from_be_bytes(bytes))
     }
 
     /// Consumes a big-endian `u64`.
     pub fn try_get_u64(&mut self) -> Option<u64> {
-        self.take(8)
-            .map(|s| u64::from_be_bytes(s.try_into().expect("8 bytes")))
+        let bytes: [u8; 8] = self.take(8)?.try_into().ok()?;
+        Some(u64::from_be_bytes(bytes))
     }
 
     /// Consumes a big-endian IEEE-754 `f64`.
     pub fn try_get_f64(&mut self) -> Option<f64> {
-        self.take(8)
-            .map(|s| f64::from_be_bytes(s.try_into().expect("8 bytes")))
+        let bytes: [u8; 8] = self.take(8)?.try_into().ok()?;
+        Some(f64::from_be_bytes(bytes))
     }
 }
 

@@ -361,8 +361,8 @@ impl NetClient {
             let msg = self.recv(deadline)?;
             match msg.payload {
                 Payload::KnnLocalReply { qid: rq, items, dr } if rq == qid => {
-                    if items.len() >= k {
-                        radius = items[k - 1].1.max(1e-9);
+                    if let Some(kth) = k.checked_sub(1).and_then(|i| items.get(i)) {
+                        radius = kth.1.max(1e-9);
                     } else if let Some(dr) = dr {
                         radius = dr.width().max(dr.height()).max(0.01);
                     }

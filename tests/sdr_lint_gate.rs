@@ -1,0 +1,19 @@
+//! Workspace gate: `cargo test` alone must catch lint regressions, so
+//! this root integration test runs the same scan CI runs via
+//! `cargo run -p sdr-lint -- --workspace`.
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let violations = sdr_lint::lint_workspace(root).expect("workspace sources readable");
+    assert!(
+        violations.is_empty(),
+        "sdr-lint found {} violation(s):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
