@@ -40,4 +40,61 @@ fn bench_cluster_query(c: &mut Bench) {
     }
 }
 
-sdr_det::bench_main!(bench_cluster_query);
+/// Messages the cluster has delivered so far (0 when metrics are off).
+fn msg_total(cluster: &Cluster) -> u64 {
+    cluster
+        .obs()
+        .metrics()
+        .map(|m| m.counter_prefix_sum("msg/"))
+        .unwrap_or(0)
+}
+
+/// Message-cost breakdown per variant (paper §5): a fresh cluster with
+/// the obs metrics registry enabled, a measured insert phase, then a
+/// measured window-query phase. The counts are exact (no sampling) and
+/// export as scalar metrics next to the timed benches.
+fn record_message_costs(c: &mut Bench) {
+    let rects = dataset(5_000, Dist::Uniform, 19);
+    let windows = WindowSpec::paper_default().generate(100, 29);
+    for variant in [Variant::Basic, Variant::ImClient, Variant::ImServer] {
+        let mut cluster = Cluster::new(SdrConfig::with_capacity(200));
+        cluster.obs_mut().enable_metrics();
+        let mut client = Client::new(ClientId(0), variant, 7);
+        for (i, r) in rects.iter().enumerate() {
+            client.insert(&mut cluster, Object::new(Oid(i as u64), *r));
+        }
+        let after_insert = msg_total(&cluster);
+        c.record_metric(
+            &format!("cluster/insert_msgs_per_op_{variant:?}"),
+            after_insert as f64 / rects.len() as f64,
+        );
+        let iam_before = cluster
+            .obs()
+            .metrics()
+            .map(|m| m.counter("client/iam"))
+            .unwrap_or(0);
+        for w in &windows {
+            client.window_query(&mut cluster, *w);
+        }
+        c.record_metric(
+            &format!("cluster/window_msgs_per_op_{variant:?}"),
+            (msg_total(&cluster) - after_insert) as f64 / windows.len() as f64,
+        );
+        if let Some(m) = cluster.obs().metrics() {
+            if let Some(h) = m.histogram("hops/Query") {
+                c.record_metric(&format!("cluster/query_hops_mean_{variant:?}"), h.mean());
+                c.record_metric(
+                    &format!("cluster/query_hops_max_{variant:?}"),
+                    h.max() as f64,
+                );
+            }
+            let iam = m.counter("client/iam") - iam_before;
+            c.record_metric(
+                &format!("cluster/iam_per_100_queries_{variant:?}"),
+                iam as f64 * 100.0 / windows.len() as f64,
+            );
+        }
+    }
+}
+
+sdr_det::bench_main!(bench_cluster_query, record_message_costs);

@@ -9,7 +9,10 @@
 //!
 //! Every bench key must also appear in [`sdr_bench::registry`] — the
 //! hand-maintained list of live benches — so a renamed or deleted bench
-//! cannot leave a stale record that still validates.
+//! cannot leave a stale record that still validates. An optional
+//! `"metrics"` object (scalar observations recorded via
+//! `Bench::record_metric`) is validated the same way against the
+//! metric registry.
 
 use sdr_bench::registry;
 use sdr_det::json::Json;
@@ -59,9 +62,34 @@ fn check_file(path: &str) -> Result<String, String> {
 
     let mut sections = 0usize;
     let mut benches = 0usize;
+    let mut metrics = 0usize;
     for (section, value) in obj {
         match section.as_str() {
             "suite" => continue,
+            "metrics" => {
+                let entries = value.as_obj().ok_or("\"metrics\" is not an object")?;
+                for (name, v) in entries {
+                    if !registry::is_known_metric(name) {
+                        return Err(format!(
+                            "metrics/{name}: not in the metric registry — \
+                             stale record, or registry.rs needs updating"
+                        ));
+                    }
+                    if name.split('/').next() != Some(suite) {
+                        return Err(format!(
+                            "metrics/{name}: metric belongs to a different \
+                             suite than {suite:?}"
+                        ));
+                    }
+                    let n = v
+                        .as_f64()
+                        .ok_or_else(|| format!("metrics/{name}: not a number"))?;
+                    if !n.is_finite() {
+                        return Err(format!("metrics/{name} = {n} is not finite"));
+                    }
+                    metrics += 1;
+                }
+            }
             "baseline" | "current" => {
                 sections += 1;
                 let entries = value
@@ -94,7 +122,7 @@ fn check_file(path: &str) -> Result<String, String> {
         return Err("neither \"baseline\" nor \"current\" present".into());
     }
     Ok(format!(
-        "suite {suite}, {sections} section(s), {benches} bench(es)"
+        "suite {suite}, {sections} section(s), {benches} bench(es), {metrics} metric(s)"
     ))
 }
 

@@ -57,6 +57,36 @@ pub fn is_known_bench(name: &str) -> bool {
     KNOWN_BENCHES.contains(&name)
 }
 
+/// Every scalar metric the bench binaries record via
+/// [`sdr_det::bench::Bench::record_metric`], grouped by suite like
+/// [`KNOWN_BENCHES`]. Metrics land under the `"metrics"` key of the
+/// suite's `BENCH_*.json` and are validated against this list by
+/// `benchjson`.
+pub const KNOWN_METRICS: &[&str] = &[
+    // benches/cluster_query.rs — message-cost breakdown per variant
+    // (paper §5: same-server messages are free; these count the rest).
+    "cluster/iam_per_100_queries_Basic",
+    "cluster/iam_per_100_queries_ImClient",
+    "cluster/iam_per_100_queries_ImServer",
+    "cluster/insert_msgs_per_op_Basic",
+    "cluster/insert_msgs_per_op_ImClient",
+    "cluster/insert_msgs_per_op_ImServer",
+    "cluster/query_hops_max_Basic",
+    "cluster/query_hops_max_ImClient",
+    "cluster/query_hops_max_ImServer",
+    "cluster/query_hops_mean_Basic",
+    "cluster/query_hops_mean_ImClient",
+    "cluster/query_hops_mean_ImServer",
+    "cluster/window_msgs_per_op_Basic",
+    "cluster/window_msgs_per_op_ImClient",
+    "cluster/window_msgs_per_op_ImServer",
+];
+
+/// Whether `name` is a metric the current suites record.
+pub fn is_known_metric(name: &str) -> bool {
+    KNOWN_METRICS.contains(&name)
+}
+
 /// The known suite prefixes (deduplicated, in registry order).
 pub fn known_suites() -> Vec<&'static str> {
     let mut suites: Vec<&'static str> = KNOWN_BENCHES
@@ -81,10 +111,29 @@ mod tests {
 
     #[test]
     fn every_name_has_a_suite_prefix() {
-        for n in KNOWN_BENCHES {
+        for n in KNOWN_BENCHES.iter().chain(KNOWN_METRICS) {
             assert!(
                 n.split('/').count() >= 2 && !n.starts_with('/'),
-                "bench name {n:?} lacks a suite/ prefix"
+                "name {n:?} lacks a suite/ prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn metric_registry_is_sorted_and_duplicate_free() {
+        let mut sorted = KNOWN_METRICS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, KNOWN_METRICS, "KNOWN_METRICS must be sorted");
+    }
+
+    #[test]
+    fn metric_suites_are_known_bench_suites() {
+        for m in KNOWN_METRICS {
+            let suite = m.split('/').next().unwrap_or("");
+            assert!(
+                known_suites().contains(&suite),
+                "metric {m:?} names a suite with no benches"
             );
         }
     }

@@ -86,6 +86,26 @@ impl DirectAccounting {
     }
 }
 
+/// Error returned when an operation needs a contact server but the
+/// cluster has none to offer.
+///
+/// The IMSERVER variant picks a uniformly random contact per request;
+/// drawing from an empty range would panic inside the RNG. An empty
+/// cluster cannot arise through [`Cluster::new`] (it always seeds
+/// server 0), but the client is also the template for code driving a
+/// remote deployment, where "no servers registered yet" is a real
+/// state that must surface as an error, not an abort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NoServers;
+
+impl std::fmt::Display for NoServers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cluster has no servers to contact")
+    }
+}
+
+impl std::error::Error for NoServers {}
+
 /// The addressing variant a client runs (§5).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Variant {
@@ -170,8 +190,22 @@ impl Client {
         Endpoint::Client(self.id)
     }
 
-    fn random_server(&mut self, cluster: &Cluster) -> ServerId {
-        ServerId(self.rng.gen_range(0..cluster.num_servers() as u32))
+    /// Picks a uniformly random contact server (the IMSERVER addressing
+    /// step). Returns [`NoServers`] instead of panicking when the
+    /// cluster is empty.
+    pub fn random_contact(&mut self, cluster: &Cluster) -> Result<ServerId, NoServers> {
+        self.contact_among(cluster.num_servers())
+    }
+
+    fn contact_among(&mut self, n: usize) -> Result<ServerId, NoServers> {
+        if n == 0 {
+            return Err(NoServers);
+        }
+        // Server ids are u32, so n ≤ u32::MAX + 1; the saturation below
+        // is unreachable in practice and exists only to avoid a lossy
+        // cast on this message path.
+        let n = u32::try_from(n).unwrap_or(u32::MAX);
+        Ok(ServerId(self.rng.gen_range(0..n)))
     }
 
     // --------------------------------------------------------- inserts --
@@ -189,6 +223,7 @@ impl Client {
                 direct = false;
                 if self.variant == Variant::ImClient {
                     self.image.absorb(&trace);
+                    record_iam(cluster.obs_mut(), &trace);
                 }
             }
         }
@@ -196,7 +231,15 @@ impl Client {
         if !direct {
             if let Some(node) = chosen {
                 self.image.forget(node);
+                record_evict(cluster.obs_mut());
             }
+        }
+        if let Some(m) = cluster.obs_mut().metrics_mut() {
+            m.inc(if direct {
+                "client/insert_direct"
+            } else {
+                "client/insert_stale"
+            });
         }
         InsertOutcome {
             direct,
@@ -282,7 +325,9 @@ impl Client {
                 }
             }
             Variant::ImServer => {
-                let contact = self.random_server(cluster);
+                // Fallback is unreachable via the public API (Cluster::new
+                // always seeds server 0) but keeps this path panic-free.
+                let contact = self.random_contact(cluster).unwrap_or(self.contact);
                 (
                     Message {
                         from: self.endpoint(),
@@ -318,7 +363,9 @@ impl Client {
 
         let msg = match self.variant {
             Variant::ImServer => {
-                let contact = self.random_server(cluster);
+                // Fallback is unreachable via the public API (Cluster::new
+                // always seeds server 0) but keeps this path panic-free.
+                let contact = self.random_contact(cluster).unwrap_or(self.contact);
                 let op = match query {
                     QueryKind::Point(p) => ClientOp::Point(p, qid),
                     QueryKind::Window(w) => ClientOp::Window(w, qid),
@@ -376,7 +423,7 @@ impl Client {
         };
         cluster.post(msg);
         let inbox = cluster.drain();
-        let (results, direct) = self.collect_query_replies(qid, inbox);
+        let (results, direct) = self.collect_query_replies(qid, inbox, cluster.obs_mut());
         // Self-healing image: the link we chose was wrong (stale dr, or
         // a dissolved node). Evict it — the IAM already delivered fresh
         // links for the region, and without eviction a stale *small*
@@ -385,7 +432,15 @@ impl Client {
         if !direct {
             if let Some(node) = chosen {
                 self.image.forget(node);
+                record_evict(cluster.obs_mut());
             }
+        }
+        if let Some(m) = cluster.obs_mut().metrics_mut() {
+            m.inc(if direct {
+                "client/query_direct"
+            } else {
+                "client/query_stale"
+            });
         }
         QueryOutcome {
             results,
@@ -396,7 +451,12 @@ impl Client {
 
     /// Applies the termination protocol to the drained replies: verifies
     /// completeness, merges and de-duplicates results, updates the image.
-    fn collect_query_replies(&mut self, qid: QueryId, inbox: Vec<Message>) -> (Vec<Object>, bool) {
+    fn collect_query_replies(
+        &mut self,
+        qid: QueryId,
+        inbox: Vec<Message>,
+        obs: &mut sdr_obs::Obs,
+    ) -> (Vec<Object>, bool) {
         let mut results: Vec<Object> = Vec::new();
         let mut direct = false;
         let mut acct = DirectAccounting::new();
@@ -420,6 +480,7 @@ impl Client {
                     }
                     if self.variant == Variant::ImClient {
                         self.image.absorb(&trace);
+                        record_iam(obs, &trace);
                     }
                 }
                 Payload::QueryAggregate {
@@ -432,6 +493,7 @@ impl Client {
                     results.extend(r);
                     if self.variant == Variant::ImClient {
                         self.image.absorb(&trace);
+                        record_iam(obs, &trace);
                     }
                 }
                 _ => {}
@@ -470,7 +532,9 @@ impl Client {
         let qid = self.qid();
         let msg = match self.variant {
             Variant::ImServer => {
-                let contact = self.random_server(cluster);
+                // Fallback is unreachable via the public API (Cluster::new
+                // always seeds server 0) but keeps this path panic-free.
+                let contact = self.random_contact(cluster).unwrap_or(self.contact);
                 Message {
                     from: self.endpoint(),
                     to: Endpoint::Server(contact),
@@ -531,12 +595,32 @@ impl Client {
                     removed |= r;
                     if self.variant == Variant::ImClient {
                         self.image.absorb(&trace);
+                        record_iam(cluster.obs_mut(), &trace);
                     }
                 }
             }
         }
         acct.assert_complete("delete");
         (removed, cluster.stats.since(&snap).total)
+    }
+}
+
+/// Counts one IAM correction (a non-empty link trace absorbed into the
+/// image) toward the §5.1 staleness metrics.
+fn record_iam(obs: &mut sdr_obs::Obs, trace: &[crate::link::Link]) {
+    if trace.is_empty() {
+        return;
+    }
+    if let Some(m) = obs.metrics_mut() {
+        m.inc("client/iam");
+        m.add("client/iam_links", trace.len() as u64);
+    }
+}
+
+/// Counts one self-healing image eviction.
+fn record_evict(obs: &mut sdr_obs::Obs) {
+    if let Some(m) = obs.metrics_mut() {
+        m.inc("client/image_evict");
     }
 }
 
@@ -564,5 +648,29 @@ impl OidGen {
         let oid = Oid(self.0);
         self.0 += 1;
         oid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cluster_contact_is_a_typed_error_not_a_panic() {
+        let mut c = Client::new(ClientId(0), Variant::ImServer, 42);
+        assert_eq!(c.contact_among(0), Err(NoServers));
+        assert_eq!(NoServers.to_string(), "cluster has no servers to contact");
+    }
+
+    #[test]
+    fn nonempty_cluster_contact_is_in_range_and_seeded() {
+        let mut a = Client::new(ClientId(0), Variant::ImServer, 7);
+        let mut b = Client::new(ClientId(0), Variant::ImServer, 7);
+        for _ in 0..100 {
+            let sa = a.contact_among(5).expect("5 servers");
+            let sb = b.contact_among(5).expect("5 servers");
+            assert!(sa.0 < 5);
+            assert_eq!(sa, sb, "same seed, same contact sequence");
+        }
     }
 }

@@ -20,24 +20,26 @@ use crate::server::{Outbox, Server};
 use crate::stats::Stats;
 use std::collections::VecDeque;
 
-/// A queued message plus whether it is still eligible for fault
-/// injection. Messages re-injected *by* the fault layer (duplicates,
-/// expired delays, reordered messages) are exempt from further
-/// decisions, so a plan with extreme rates still terminates.
+/// A queued message plus its causal identity and whether it is still
+/// eligible for fault injection. Messages re-injected *by* the fault
+/// layer (duplicates, expired delays, reordered messages) are exempt
+/// from further decisions, so a plan with extreme rates still
+/// terminates.
+///
+/// `id` is assigned at emission from the cluster's monotone counter
+/// (never 0); `parent` is the id of the message whose handling emitted
+/// this one (0 for client posts and bootstrap traffic), and `depth` is
+/// the hop count from that root. The trio is what lets the trace layer
+/// link every reply to the request that spawned it — the `Message`
+/// itself stays untouched, because it is wire-coupled (`sdr-net`
+/// encodes it) and causal ids are simulator-local bookkeeping.
 #[derive(Debug)]
 struct Envelope {
     msg: Message,
     fresh: bool,
-}
-
-impl Envelope {
-    fn fresh(msg: Message) -> Self {
-        Envelope { msg, fresh: true }
-    }
-
-    fn faulted(msg: Message) -> Self {
-        Envelope { msg, fresh: false }
-    }
+    id: u64,
+    parent: u64,
+    depth: u32,
 }
 
 /// A simulated cluster of SD-Rtree servers.
@@ -56,10 +58,10 @@ pub struct Cluster {
     queue: VecDeque<Envelope>,
     /// Low-priority lane: drained one message at a time, only when the
     /// main queue is empty (see `Outbox::deferred`).
-    deferred: VecDeque<Message>,
+    deferred: VecDeque<Envelope>,
     /// Messages held back by delay injection, with the number of
     /// delivery events still to elapse before re-injection.
-    delayed: Vec<(Message, u32)>,
+    delayed: Vec<(Envelope, u32)>,
     /// Deterministic fault injection (None: ideal lossless delivery).
     faults: Option<FaultInjector>,
     /// Message counters (public: the benchmark harness reads them).
@@ -71,6 +73,18 @@ pub struct Cluster {
     /// sizes (validating §5's "at most a few hundreds of bytes" claim)
     /// without coupling this crate to the codec.
     tap: Option<fn(&Message)>,
+    /// Causal-id allocator for [`Envelope`]s; starts at 1 so 0 can be
+    /// the "no parent" sentinel.
+    next_msg_id: u64,
+    /// Logical clock: the number of delivery events so far. This — not
+    /// a wall clock — is the timestamp on every trace event, which is
+    /// what keeps same-seed runs byte-identical.
+    tick: u64,
+    /// Deterministic observability (trace + metrics), disabled unless
+    /// `SDR_TRACE`/`SDR_METRICS` are set at construction or a test
+    /// enables it programmatically. Observation never feeds back into
+    /// behavior: nothing in this crate reads `obs` state.
+    obs: sdr_obs::Obs,
 }
 
 impl Cluster {
@@ -88,12 +102,32 @@ impl Cluster {
             config,
             root_cache: std::cell::Cell::new(ServerId(0)),
             tap: None,
+            next_msg_id: 1,
+            tick: 0,
+            obs: sdr_obs::Obs::from_env(),
         }
     }
 
     /// Installs a message observer (see the `tap` field).
     pub fn set_tap(&mut self, tap: fn(&Message)) {
         self.tap = Some(tap);
+    }
+
+    /// The observability bundle (trace log + metrics), read side.
+    pub fn obs(&self) -> &sdr_obs::Obs {
+        &self.obs
+    }
+
+    /// Mutable observability bundle — tests and harnesses use this to
+    /// enable tracing/metrics programmatically (no env-var races under
+    /// parallel `cargo test`) and to read back what was recorded.
+    pub fn obs_mut(&mut self) -> &mut sdr_obs::Obs {
+        &mut self.obs
+    }
+
+    /// The logical clock: delivery events so far (see the `tick` field).
+    pub fn tick(&self) -> u64 {
+        self.tick
     }
 
     /// Installs a deterministic fault plan: every subsequent delivery in
@@ -215,9 +249,54 @@ impl Cluster {
         unreachable!("a non-empty cluster always has a root node");
     }
 
-    /// Enqueues a message originating at a client.
+    /// Enqueues a message originating at a client. Client posts are
+    /// causal roots: their envelopes get `parent = 0`, `depth = 0`.
     pub fn post(&mut self, msg: Message) {
-        self.queue.push_back(Envelope::fresh(msg));
+        let env = self.envelope(msg, 0, 0);
+        self.queue.push_back(env);
+    }
+
+    /// Wraps a message in a fresh envelope with the next causal id.
+    fn envelope(&mut self, msg: Message, parent: u64, depth: u32) -> Envelope {
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        Envelope {
+            msg,
+            fresh: true,
+            id,
+            parent,
+            depth,
+        }
+    }
+
+    /// Records one trace event for `env` at the current tick, if
+    /// tracing is on. The disabled path is a single branch.
+    fn trace_event(&mut self, kind: &'static str, env: &Envelope) {
+        if let Some(t) = self.obs.trace_mut() {
+            t.record(sdr_obs::TraceEvent {
+                tick: self.tick,
+                id: env.id,
+                parent: env.parent,
+                depth: env.depth,
+                kind,
+                name: env.msg.payload.name(),
+                category: env.msg.payload.category().name(),
+                from: env.msg.from.to_string(),
+                to: env.msg.to.to_string(),
+            });
+        }
+    }
+
+    /// Records a fault decision against `env`: a trace event plus a
+    /// `fault/<kind>/<category>` counter.
+    fn obs_fault(&mut self, kind: &'static str, env: &Envelope) {
+        self.trace_event(kind, env);
+        if let Some(m) = self.obs.metrics_mut() {
+            m.inc(&format!(
+                "fault/{kind}/{}",
+                env.msg.payload.category().name()
+            ));
+        }
     }
 
     /// Processes the queue to quiescence, returning every client-bound
@@ -237,76 +316,137 @@ impl Cluster {
             let env = match self.queue.pop_front() {
                 Some(env) => env,
                 None => match self.deferred.pop_front() {
-                    Some(msg) => Envelope::fresh(msg),
+                    Some(env) => env,
                     None => {
                         if self.delayed.is_empty() {
                             break;
                         }
                         // Nothing else can tick the countdowns: flush.
-                        for (msg, _) in self.delayed.drain(..) {
-                            self.queue.push_back(Envelope::faulted(msg));
+                        let flushed: Vec<Envelope> =
+                            self.delayed.drain(..).map(|(env, _)| env).collect();
+                        for mut env in flushed {
+                            env.fresh = false;
+                            self.trace_event("flush", &env);
+                            self.queue.push_back(env);
                         }
                         continue;
                     }
                 },
             };
-            let msg = env.msg;
-            if env.fresh {
-                if let Some(inj) = self.faults.as_mut() {
-                    match inj.decide(&msg, &mut self.stats) {
-                        FaultDecision::Deliver => {
-                            if inj.decide_corrupt(msg.payload.category(), &mut self.stats) {
-                                continue;
-                            }
-                        }
-                        FaultDecision::Drop => continue,
-                        FaultDecision::Duplicate => {
-                            self.queue.push_back(Envelope::faulted(msg.clone()));
-                        }
-                        FaultDecision::Delay(n) => {
-                            self.delayed.push((msg, n));
-                            continue;
-                        }
-                        FaultDecision::Reorder => {
-                            self.queue.push_back(Envelope::faulted(msg));
-                            continue;
-                        }
+            // Decide first, then act: the injector borrow must end
+            // before the observability recorders (&mut self) run.
+            let mut corrupt = false;
+            let decision = match (env.fresh, self.faults.as_mut()) {
+                (true, Some(inj)) => {
+                    let d = inj.decide(&env.msg, &mut self.stats);
+                    if matches!(d, FaultDecision::Deliver) {
+                        corrupt = inj.decide_corrupt(env.msg.payload.category(), &mut self.stats);
+                    }
+                    d
+                }
+                _ => FaultDecision::Deliver,
+            };
+            match decision {
+                FaultDecision::Deliver => {
+                    if corrupt {
+                        self.obs_fault("corrupt", &env);
+                        continue;
                     }
                 }
+                FaultDecision::Drop => {
+                    self.obs_fault("drop", &env);
+                    continue;
+                }
+                FaultDecision::Duplicate => {
+                    self.obs_fault("dup", &env);
+                    // The copy gets its own id, parented to the
+                    // original so the trace tree shows the fork.
+                    let id = self.next_msg_id;
+                    self.next_msg_id += 1;
+                    self.queue.push_back(Envelope {
+                        msg: env.msg.clone(),
+                        fresh: false,
+                        id,
+                        parent: env.id,
+                        depth: env.depth,
+                    });
+                }
+                FaultDecision::Delay(n) => {
+                    self.obs_fault("delay", &env);
+                    self.delayed.push((env, n));
+                    continue;
+                }
+                FaultDecision::Reorder => {
+                    self.obs_fault("reorder", &env);
+                    let mut env = env;
+                    env.fresh = false;
+                    self.queue.push_back(env);
+                    continue;
+                }
             }
-            self.deliver(msg, &mut to_clients);
+            self.deliver(env, &mut to_clients);
             self.tick_delayed();
         }
         to_clients
     }
 
-    /// Delivers one message to its endpoint.
-    fn deliver(&mut self, msg: Message, to_clients: &mut Vec<Message>) {
-        match msg.to {
+    /// Delivers one message to its endpoint. Every delivery advances
+    /// the logical clock; messages the handler emits become children
+    /// of the delivered envelope (`parent = env.id`, `depth + 1`).
+    fn deliver(&mut self, env: Envelope, to_clients: &mut Vec<Message>) {
+        self.tick += 1;
+        match env.msg.to {
             Endpoint::Server(sid) => {
                 let idx = sid.0 as usize;
                 assert!(idx < self.servers.len(), "message to unknown server {sid}");
                 // The paper's cost model: messages between nodes on
                 // the same server are free.
-                if msg.from != Endpoint::Server(sid) {
-                    self.stats.record_server_msg(sid, msg.payload.category());
+                if env.msg.from != Endpoint::Server(sid) {
+                    self.stats
+                        .record_server_msg(sid, env.msg.payload.category());
                     if let Some(tap) = self.tap {
-                        tap(&msg);
+                        tap(&env.msg);
                     }
                 }
+                self.trace_event("deliver", &env);
+                if let Some(m) = self.obs.metrics_mut() {
+                    m.inc(&format!("msg/{}", env.msg.payload.name()));
+                    m.observe(
+                        &format!("hops/{}", env.msg.payload.category().name()),
+                        u64::from(env.depth),
+                    );
+                    m.inc(&format!("load/S{:04}", sid.0));
+                    m.set_gauge("queue/depth", self.queue.len() as i64);
+                }
+                let Envelope { msg, id, depth, .. } = env;
+                // sdr-lint: allow(lossy-cast) — server ids are allocated densely from 0; the count fits u32 by the id-space contract
                 let mut out = Outbox::new(sid, self.servers.len() as u32);
                 // sdr-lint: allow(panic-safety) — idx bounds-asserted above
                 self.servers[idx].handle(msg.from, msg.payload, &mut out);
-                for id in out.allocated {
-                    debug_assert_eq!(id.0 as usize, self.servers.len());
-                    self.servers.push(Server::bare(id, self.config));
+                for alloc in out.allocated {
+                    debug_assert_eq!(alloc.0 as usize, self.servers.len());
+                    self.servers.push(Server::bare(alloc, self.config));
                 }
-                self.queue.extend(out.msgs.into_iter().map(Envelope::fresh));
-                self.deferred.extend(out.deferred);
+                for child in out.msgs {
+                    let e = self.envelope(child, id, depth + 1);
+                    self.queue.push_back(e);
+                }
+                for child in out.deferred {
+                    let e = self.envelope(child, id, depth + 1);
+                    self.deferred.push_back(e);
+                }
             }
             Endpoint::Client(_) => {
                 self.stats.record_client_msg();
-                to_clients.push(msg);
+                self.trace_event("client", &env);
+                if let Some(m) = self.obs.metrics_mut() {
+                    m.inc(&format!("msg/{}", env.msg.payload.name()));
+                    m.observe(
+                        &format!("hops/{}", env.msg.payload.category().name()),
+                        u64::from(env.depth),
+                    );
+                }
+                to_clients.push(env.msg);
             }
         }
     }
@@ -321,8 +461,9 @@ impl Cluster {
         while i < self.delayed.len() {
             // sdr-lint: allow(panic-safety) — i < len is the loop guard
             if self.delayed[i].1 <= 1 {
-                let (msg, _) = self.delayed.remove(i);
-                self.queue.push_back(Envelope::faulted(msg));
+                let (mut env, _) = self.delayed.remove(i);
+                env.fresh = false;
+                self.queue.push_back(env);
             } else {
                 // sdr-lint: allow(panic-safety) — i < len is the loop guard
                 self.delayed[i].1 -= 1;

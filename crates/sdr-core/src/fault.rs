@@ -175,6 +175,7 @@ impl FaultInjector {
         }
         if self.rng.gen_bool(self.plan.delay.rate(c)) {
             stats.record_fault(FaultKind::Delay, c);
+            // sdr-lint: allow(lossy-cast) — bounded() returns < max_delay, which is itself a u32
             let n = 1 + bounded(&mut self.rng, self.plan.max_delay as u64) as u32;
             return FaultDecision::Delay(n);
         }

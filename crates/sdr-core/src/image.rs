@@ -86,32 +86,24 @@ impl Image {
     /// 3. Otherwise the **data link** closest to `mbb` — measured, per
     ///    the discussion in §5.1, as the smallest necessary enlargement.
     ///
+    /// Every pass breaks ties with a fully specified ordering: equal
+    /// primary keys fall through to smaller dr area, then to the
+    /// smaller [`NodeRef`]. The pick is thus a pure function of the
+    /// image's *contents*, never of how the map was built — absorbing
+    /// the same links in any order yields the same choice, which the
+    /// deterministic replay contract (and the golden trace) relies on.
+    ///
     /// Returns `None` on an empty image (the caller falls back to its
     /// contact server).
     pub fn choose(&self, mbb: &Rect) -> Option<Link> {
-        // Pass 1: covering data links, smallest area.
-        let mut best: Option<(f64, Link)> = None;
+        // Pass 1: covering data links, smallest (area, node).
+        let mut best: Option<((f64, NodeRef), Link)> = None;
         for l in self
             .links
             .values()
             .filter(|l| l.is_data() && l.dr.contains(mbb))
         {
-            let area = l.dr.area();
-            if best.as_ref().is_none_or(|(a, _)| area < *a) {
-                best = Some((area, *l));
-            }
-        }
-        if let Some((_, l)) = best {
-            return Some(l);
-        }
-        // Pass 2: covering routing links, minimal height then area.
-        let mut best: Option<((u32, f64), Link)> = None;
-        for l in self
-            .links
-            .values()
-            .filter(|l| !l.is_data() && l.dr.contains(mbb))
-        {
-            let key = (l.height, l.dr.area());
+            let key = (l.dr.area(), l.node);
             if best.as_ref().is_none_or(|(k, _)| key < *k) {
                 best = Some((key, *l));
             }
@@ -119,12 +111,29 @@ impl Image {
         if let Some((_, l)) = best {
             return Some(l);
         }
-        // Pass 3: closest data link by necessary enlargement.
-        let mut best: Option<(f64, Link)> = None;
+        // Pass 2: covering routing links, minimal (height, area, node).
+        let mut best: Option<((u32, f64, NodeRef), Link)> = None;
+        for l in self
+            .links
+            .values()
+            .filter(|l| !l.is_data() && l.dr.contains(mbb))
+        {
+            let key = (l.height, l.dr.area(), l.node);
+            if best.as_ref().is_none_or(|(k, _)| key < *k) {
+                best = Some((key, *l));
+            }
+        }
+        if let Some((_, l)) = best {
+            return Some(l);
+        }
+        // Pass 3: closest data link by (enlargement, area, node) — the
+        // explicit area/NodeRef tie-break keeps equal-enlargement picks
+        // independent of map history.
+        let mut best: Option<((f64, f64, NodeRef), Link)> = None;
         for l in self.links.values().filter(|l| l.is_data()) {
-            let enl = l.dr.enlargement(mbb);
-            if best.as_ref().is_none_or(|(e, _)| enl < *e) {
-                best = Some((enl, *l));
+            let key = (l.dr.enlargement(mbb), l.dr.area(), l.node);
+            if best.as_ref().is_none_or(|(k, _)| key < *k) {
+                best = Some((key, *l));
             }
         }
         best.map(|(_, l)| l)
@@ -132,22 +141,23 @@ impl Image {
 
     /// Like [`Image::choose`] but only ever returns data links — used for
     /// point queries, which the paper targets directly at leaves (§4.1).
+    /// Uses the same fully specified tie-break ordering as `choose`.
     pub fn choose_data(&self, mbb: &Rect) -> Option<Link> {
-        let mut covering: Option<(f64, Link)> = None;
-        let mut closest: Option<(f64, Link)> = None;
+        let mut covering: Option<((f64, NodeRef), Link)> = None;
+        let mut closest: Option<((f64, f64, NodeRef), Link)> = None;
         for l in self.links.values().filter(|l| l.is_data()) {
             if l.dr.contains(mbb) {
-                let area = l.dr.area();
-                if covering.as_ref().is_none_or(|(a, _)| area < *a) {
-                    covering = Some((area, *l));
+                let key = (l.dr.area(), l.node);
+                if covering.as_ref().is_none_or(|(k, _)| key < *k) {
+                    covering = Some((key, *l));
                 }
             }
-            let enl = l.dr.enlargement(mbb);
-            if closest.as_ref().is_none_or(|(e, _)| enl < *e) {
-                closest = Some((enl, *l));
+            let key = (l.dr.enlargement(mbb), l.dr.area(), l.node);
+            if closest.as_ref().is_none_or(|(k, _)| key < *k) {
+                closest = Some((key, *l));
             }
         }
-        covering.or(closest).map(|(_, l)| l)
+        covering.map(|(_, l)| l).or_else(|| closest.map(|(_, l)| l))
     }
 }
 
@@ -249,5 +259,63 @@ mod tests {
         img.absorb_link(data(1, Rect::new(0.0, 0.0, 1.0, 1.0)));
         img.forget(NodeRef::data(ServerId(1)));
         assert!(img.is_empty());
+    }
+
+    #[test]
+    fn pass3_equal_enlargement_ties_break_on_area_then_node() {
+        // Two data links equidistant from the target (same enlargement)
+        // but different areas: the smaller area must win, in either
+        // absorption order.
+        let target = Rect::new(4.0, 0.0, 5.0, 1.0);
+        let a = data(1, Rect::new(0.0, 0.0, 3.0, 1.0)); // union 5×1, area 3 → enl 2
+        let b = data(2, Rect::new(6.0, 0.0, 7.0, 1.0)); // union 3×1, area 1 → enl 2
+        for order in [[a, b], [b, a]] {
+            let mut img = Image::new();
+            for l in order {
+                img.absorb_link(l);
+            }
+            assert_eq!(
+                img.choose(&target).unwrap().node,
+                NodeRef::data(ServerId(2)),
+                "equal enlargement: smaller area wins regardless of order"
+            );
+        }
+    }
+
+    #[test]
+    fn pass3_equal_enlargement_and_area_ties_break_on_node() {
+        // Identical rectangles on different servers: the smaller
+        // NodeRef wins, in either absorption order.
+        let target = Rect::new(4.0, 0.0, 5.0, 1.0);
+        let dr = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let a = data(3, dr);
+        let b = data(7, dr);
+        for order in [[a, b], [b, a]] {
+            let mut img = Image::new();
+            for l in order {
+                img.absorb_link(l);
+            }
+            assert_eq!(
+                img.choose(&target).unwrap().node,
+                NodeRef::data(ServerId(3)),
+                "full tie: smaller NodeRef wins regardless of order"
+            );
+        }
+    }
+
+    #[test]
+    fn choose_data_ties_break_like_choose() {
+        let target = Rect::new(4.0, 0.0, 5.0, 1.0);
+        let dr = Rect::new(0.0, 0.0, 1.0, 1.0);
+        for order in [[data(3, dr), data(7, dr)], [data(7, dr), data(3, dr)]] {
+            let mut img = Image::new();
+            for l in order {
+                img.absorb_link(l);
+            }
+            assert_eq!(
+                img.choose_data(&target).unwrap().node,
+                NodeRef::data(ServerId(3))
+            );
+        }
     }
 }

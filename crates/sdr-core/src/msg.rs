@@ -23,6 +23,15 @@ pub enum Endpoint {
     Server(ServerId),
 }
 
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Client(c) => write!(f, "{c}"),
+            Endpoint::Server(s) => write!(f, "{s}"),
+        }
+    }
+}
+
 /// A point-to-point message.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Message {

@@ -34,6 +34,15 @@ use std::collections::BTreeMap;
 #[derive(Clone, Debug, Default)]
 pub struct PendingAggregates {
     entries: BTreeMap<u64, Pending>,
+    /// One-shot child routes: each spawned child is handed its own
+    /// branch token, mapped here to the accumulator's key. The route is
+    /// consumed by the first aggregate that answers it, so a duplicated
+    /// `QueryAggregate` (fault injection, or a retransmit in a real
+    /// deployment) finds no route and is discarded instead of
+    /// double-decrementing `remaining` — which used to terminate the
+    /// branch early and silently drop the still-outstanding subtree's
+    /// results (surfaced by the per-op trace trees under `dup` faults).
+    routes: BTreeMap<u64, u64>,
     next_branch: u64,
 }
 
@@ -356,28 +365,39 @@ impl Server {
                         out,
                     );
                 } else {
-                    // Wait for the children; the forwarded messages carry
-                    // our own branch token... which forward_query set to
-                    // q.parent_branch. Re-key them under a fresh token is
-                    // unnecessary because each hop has at most one
-                    // pending entry per inbound message; we use the
-                    // inbound (reply_via, parent_branch) as identity and
-                    // allocate a unique local key.
+                    // Wait for the children. The accumulator lives under
+                    // a fresh local key; each child is re-keyed onto its
+                    // *own* one-shot branch token routed to that key, so
+                    // sibling aggregates are distinguishable and a
+                    // duplicated one cannot be double-counted (see
+                    // `PendingAggregates::routes`).
                     let key = self.pending.alloc_branch(self.id);
-                    // Rewrite the just-emitted children so their
-                    // aggregates come back to our fresh key.
+                    let mut rewritten: u32 = 0;
                     for m in out.msgs.iter_mut().rev().take(hop.spawned.len()) {
                         if let Payload::Query(cq) = &mut m.payload {
                             if cq.qid == q.qid {
-                                cq.parent_branch = key;
+                                let child = self.pending.alloc_branch(self.id);
+                                cq.parent_branch = child;
+                                self.pending.routes.insert(child, key);
+                                rewritten += 1;
                             }
                         }
                     }
+                    // A lossy `as u32` here would wrap a huge (forged or
+                    // future-widened) fan-out into a small `remaining`
+                    // and terminate the branch early with a silently
+                    // incomplete aggregate. Fail loudly instead: the
+                    // fan-out is bounded by the number of servers (u32
+                    // ids), so the conversion cannot fail on real input.
+                    let remaining = u32::try_from(hop.spawned.len())
+                        // sdr-lint: allow(panic-safety) — deliberate loud failure on an impossible >u32::MAX fan-out
+                        .expect("query fan-out exceeds u32: corrupt hop state");
+                    debug_assert_eq!(rewritten, remaining, "every spawned child re-keyed");
                     self.pending.entries.insert(
                         key,
                         Pending {
                             qid: q.qid,
-                            remaining: hop.spawned.len() as u32,
+                            remaining,
                             results: hop.results,
                             trace: q.trace,
                             reply_via: q.reply_via,
@@ -399,18 +419,27 @@ impl Server {
         trace: crate::msg::Trace,
         out: &mut Outbox,
     ) {
-        let Some(entry) = self.pending.entries.get_mut(&parent_branch) else {
+        // Consume the child's one-shot route first: a duplicate of an
+        // already-counted aggregate finds no route and is discarded,
+        // never double-decrementing `remaining` (which would send the
+        // merged aggregate upward with a subtree still outstanding).
+        let Some(group) = self.pending.routes.remove(&parent_branch) else {
+            return;
+        };
+        let Some(entry) = self.pending.entries.get_mut(&group) else {
             return;
         };
         debug_assert_eq!(entry.qid, qid);
         entry.results.extend(results);
         entry.trace.extend(trace);
-        entry.remaining -= 1;
+        // Saturating out of caution only: every live route decrements
+        // at most once, and `remaining` starts at the route count.
+        entry.remaining = entry.remaining.saturating_sub(1);
         if entry.remaining == 0 {
             let entry = self
                 .pending
                 .entries
-                .remove(&parent_branch)
+                .remove(&group)
                 // sdr-lint: allow(panic-safety) — the same key was just
                 // read through get_mut to decrement `remaining`
                 .expect("present");

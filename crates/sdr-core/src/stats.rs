@@ -49,6 +49,21 @@ impl MsgCategory {
         MsgCategory::Delete,
     ];
 
+    /// Stable display name, used for trace-event and metrics keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgCategory::Insert => "Insert",
+            MsgCategory::Split => "Split",
+            MsgCategory::Adjust => "Adjust",
+            MsgCategory::Rotation => "Rotation",
+            MsgCategory::Oc => "Oc",
+            MsgCategory::Query => "Query",
+            MsgCategory::Reply => "Reply",
+            MsgCategory::Iam => "Iam",
+            MsgCategory::Delete => "Delete",
+        }
+    }
+
     pub(crate) fn index(self) -> usize {
         match self {
             MsgCategory::Insert => 0,
@@ -91,6 +106,17 @@ impl FaultKind {
         FaultKind::Reorder,
         FaultKind::Corrupt,
     ];
+
+    /// Stable display name, used for trace-event and metrics keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "dup",
+            FaultKind::Delay => "delay",
+            FaultKind::Reorder => "reorder",
+            FaultKind::Corrupt => "corrupt",
+        }
+    }
 
     fn index(self) -> usize {
         match self {

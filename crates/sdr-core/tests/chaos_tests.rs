@@ -187,6 +187,48 @@ fn seeded_chaos_run_is_bit_reproducible() {
     );
 }
 
+/// With the trace log enabled, two same-seed chaos runs must render
+/// byte-identical traces — including the fault events (drops, dups,
+/// delays) the injector interleaves into delivery. This is the
+/// observability determinism contract: turning tracing on must never
+/// perturb the run, and the trace itself is as reproducible as the
+/// structure hash.
+#[test]
+fn same_seed_chaos_traces_are_byte_identical() {
+    let plan = mixed_plan();
+    let ops = if quick() { 300 } else { 800 };
+    let run = || {
+        let mut cluster = Cluster::new(SdrConfig::with_capacity(30));
+        cluster.obs_mut().enable_trace();
+        cluster.install_faults(&plan, 0xFA57);
+        let mut client = Client::new(ClientId(0), Variant::ImClient, 0xC0FFEE);
+        let rects = DatasetSpec::new(ops, Distribution::Uniform).generate(0xC0FFEE);
+        for (i, r) in rects.iter().enumerate() {
+            let _ = reported(|| client.insert(&mut cluster, Object::new(Oid(i as u64), *r)));
+            if i % 5 == 0 {
+                let p = Point::new((r.xmin + r.xmax) / 2.0, (r.ymin + r.ymax) / 2.0);
+                let _ = reported(|| client.point_query(&mut cluster, p));
+            }
+        }
+        cluster.obs().trace().expect("trace enabled").render()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "same-seed trace logs must be byte-identical");
+    assert!(
+        first.lines().count() > ops,
+        "trace unexpectedly sparse: {} lines",
+        first.lines().count()
+    );
+    // The injected faults themselves are part of the reproducible log.
+    for kind in ["drop", "dup", "delay"] {
+        assert!(
+            first.contains(&format!(" {kind}")),
+            "no `{kind}` fault event in the trace"
+        );
+    }
+}
+
 #[test]
 fn different_fault_seeds_diverge() {
     // Sanity check that the reproducibility assertion above has teeth:

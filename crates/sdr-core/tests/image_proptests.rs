@@ -116,6 +116,37 @@ sdr_det::prop! {
         assert_eq!(image.known_servers(), servers.len());
     }
 
+    /// Under any interleaving of absorb and forget operations the image
+    /// stays exactly a last-writer-wins map keyed by node: same
+    /// contents, same length, same server count as a naive oracle.
+    fn image_matches_naive_oracle_under_interleavings(
+        ops in vecs_of(bools().zip(vecs_of(arb_link(), 1..6)), 1..30),
+    ) {
+        let mut image = Image::new();
+        let mut oracle: std::collections::HashMap<NodeRef, Link> = Default::default();
+        for (forget, links) in &ops {
+            if *forget {
+                // Forget the op's first node — present or not, forget
+                // must remove exactly that node and nothing else.
+                let victim = links[0].node;
+                image.forget(victim);
+                oracle.remove(&victim);
+            } else {
+                image.absorb(links);
+                for l in links {
+                    oracle.insert(l.node, *l);
+                }
+            }
+        }
+        assert_eq!(image.len(), oracle.len());
+        for l in image.links() {
+            assert_eq!(Some(l), oracle.get(&l.node));
+        }
+        let servers: std::collections::HashSet<ServerId> =
+            oracle.keys().map(|n| n.server).collect();
+        assert_eq!(image.known_servers(), servers.len());
+    }
+
     /// Forgetting removes exactly the named node.
     fn forget_is_precise(links in vecs_of(arb_link(), 2..20)) {
         let mut image = Image::new();

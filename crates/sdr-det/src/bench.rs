@@ -25,6 +25,11 @@
 //! merge with the existing file, so the baseline section survives
 //! subsequent `--json` runs. A non-`1` value of `SDR_BENCH_JSON` (other
 //! than `baseline`) is taken as the directory to write into.
+//!
+//! Benches may also attach named scalar *metrics* to the run
+//! ([`Bench::record_metric`]) — message counts per operation, hop
+//! statistics, correction rates — which land under a top-level
+//! `"metrics"` key in the same file, merged like the bench sections.
 
 use crate::json::Json;
 pub use std::hint::black_box;
@@ -77,6 +82,7 @@ pub struct Bench {
     warmup: Duration,
     min_sample_time: Duration,
     results: Vec<Summary>,
+    metrics: Vec<(String, f64)>,
     json: Option<(JsonSection, PathBuf)>,
 }
 
@@ -87,6 +93,7 @@ impl Default for Bench {
             warmup: Duration::from_millis(150),
             min_sample_time: Duration::from_millis(1),
             results: Vec::new(),
+            metrics: Vec::new(),
             json: None,
         }
     }
@@ -177,6 +184,21 @@ impl Bench {
         &self.results
     }
 
+    /// Attaches a named scalar metric to the run (e.g. a messages-per-
+    /// operation count measured alongside the timed benches). Metrics
+    /// share the bench naming convention — `suite/metric_name` — and are
+    /// written to the same `BENCH_<suite>.json` under `"metrics"`.
+    /// Non-finite values are dropped with a warning rather than
+    /// poisoning the JSON record.
+    pub fn record_metric(&mut self, name: &str, value: f64) {
+        if !value.is_finite() {
+            eprintln!("warning: metric `{name}` is not finite ({value}); skipped");
+            return;
+        }
+        println!("{:<44} metric {value:.3}", name);
+        self.metrics.push((name.to_string(), value));
+    }
+
     /// Prints a closing line and, in `--json` mode, writes the perf
     /// record. (Kept as an explicit call so `main` reads like the
     /// criterion harness it replaced.)
@@ -242,6 +264,16 @@ impl Bench {
             );
         }
         root.set(key, benches);
+        if !self.metrics.is_empty() {
+            let mut metrics = match root.get("metrics") {
+                Some(Json::Obj(pairs)) => Json::Obj(pairs.clone()),
+                _ => Json::Obj(vec![]),
+            };
+            for (name, value) in &self.metrics {
+                metrics.set(name, Json::Num(*value));
+            }
+            root.set("metrics", metrics);
+        }
         std::fs::write(&path, root.to_pretty()).map_err(|e| e.to_string())?;
         Ok(path)
     }
@@ -325,8 +357,7 @@ mod tests {
             sample_size: 5,
             warmup: Duration::from_millis(1),
             min_sample_time: Duration::from_micros(50),
-            results: Vec::new(),
-            json: None,
+            ..Bench::default()
         };
         b.bench_function("noop_sum", |bencher| {
             bencher.iter(|| (0..100u64).sum::<u64>())
@@ -353,12 +384,13 @@ mod tests {
             sample_size: 3,
             warmup: Duration::from_millis(1),
             min_sample_time: Duration::from_micros(20),
-            results: Vec::new(),
-            json: None,
+            ..Bench::default()
         };
         b.bench_function("demo/alpha", |bencher| {
             bencher.iter(|| (0..50u64).sum::<u64>())
         });
+        b.record_metric("demo/msgs_per_op", 3.25);
+        b.record_metric("demo/bad", f64::NAN);
         // Baseline first, then current: both sections must coexist.
         let path = b
             .write_json(JsonSection::Baseline, &dir)
@@ -377,6 +409,14 @@ mod tests {
                 .expect("median recorded");
             assert!(med > 0.0);
         }
+        // Metrics land under their own key; the non-finite one was
+        // dropped at record time.
+        let metrics = root.get("metrics").expect("metrics section");
+        assert_eq!(
+            metrics.get("demo/msgs_per_op").and_then(Json::as_f64),
+            Some(3.25)
+        );
+        assert!(metrics.get("demo/bad").is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

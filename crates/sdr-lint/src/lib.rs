@@ -121,6 +121,13 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
         {
             rules::panic_safety(fs, &mut out);
         }
+        // Lossy-cast sweeps the sdr-core message paths only: the
+        // sdr-net wire codec narrows integers as its *job* (explicit
+        // byte-level framing), and flagging every codec line would
+        // bury the signal in allows.
+        if PANIC_SAFETY_FILES.contains(&p.as_str()) {
+            rules::lossy_cast(fs, &mut out);
+        }
         if LOCK_HYGIENE_DIRS.iter().any(|d| p.starts_with(d)) {
             rules::lock_hygiene(fs, &mut out);
         }
@@ -154,6 +161,7 @@ pub fn lint_paths_all_rules(paths: &[PathBuf]) -> std::io::Result<Vec<Violation>
         rules::determinism(fs, &mut out);
         rules::panic_safety(fs, &mut out);
         rules::lock_hygiene(fs, &mut out);
+        rules::lossy_cast(fs, &mut out);
         if is_crate_root(&path_str(&fs.path)) {
             rules::crate_hygiene(fs, &mut out);
         }

@@ -17,6 +17,7 @@
 //! | `lock-hygiene` | a `Mutex`/`RwLock` guard binding held across a `send_message`/`read_frame` call |
 //! | `crate-hygiene` | a crate root without `#![forbid(unsafe_code)]` and a `missing_docs` lint header |
 //! | `allow-reason` | an `sdr-lint:` annotation that is malformed or carries no reason (not allowable) |
+//! | `lossy-cast` | `as` casts to a narrower integer type (`u8`/`u16`/`u32`/`i8`/`i16`/`i32`) in sdr-core message paths — they truncate silently; use `try_from` with a loud failure |
 
 use crate::allow::{parse_allows, Allow};
 use crate::lexer::{lex, Lexed, TokKind, Token};
@@ -34,6 +35,8 @@ pub const LOCK_HYGIENE: &str = "lock-hygiene";
 pub const CRATE_HYGIENE: &str = "crate-hygiene";
 /// Rule name: annotation well-formedness (cannot itself be allowed).
 pub const ALLOW_REASON: &str = "allow-reason";
+/// Rule name: silently truncating `as` casts on message paths.
+pub const LOSSY_CAST: &str = "lossy-cast";
 
 /// Every rule, in reporting order.
 pub const ALL_RULES: &[&str] = &[
@@ -43,6 +46,7 @@ pub const ALL_RULES: &[&str] = &[
     LOCK_HYGIENE,
     CRATE_HYGIENE,
     ALLOW_REASON,
+    LOSSY_CAST,
 ];
 
 /// One finding.
@@ -349,6 +353,44 @@ pub fn panic_safety(fs: &FileSource, out: &mut Vec<Violation>) {
                     "indexing can panic; use `.get(…)`/`.first()`/pattern matching, \
                      or justify the bound with an allow"
                         .into(),
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ lossy-cast --
+
+/// Integer targets an `as` cast can silently truncate into. 64-bit
+/// targets (`u64`/`i64`/`usize`/`isize`) are excluded: the workspace's
+/// ids are at most 32 bits wide and the supported platforms are 64-bit,
+/// so casts *up* to them are widening (documented assumption, see
+/// DESIGN.md decision 9).
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Flags narrowing `as` casts. A token walker cannot know the source
+/// type, so every `as u32` (etc.) is flagged — a cast that is provably
+/// widening or deliberately bounded carries an allow with the bound as
+/// its reason. The motivating bug: `hop.spawned.len() as u32` wrapping
+/// a forged fan-out into a small `remaining` and terminating a query
+/// branch early as a false "complete".
+pub fn lossy_cast(fs: &FileSource, out: &mut Vec<Violation>) {
+    let toks = &fs.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if fs.test_mask[i] || !t.is_ident("as") {
+            continue;
+        }
+        if let Some(n) = toks.get(i + 1) {
+            if n.kind == TokKind::Ident && NARROW_INTS.contains(&n.text.as_str()) {
+                fs.push(
+                    out,
+                    t.line,
+                    LOSSY_CAST,
+                    format!(
+                        "`as {}` silently truncates; use `{}::try_from` with a loud \
+                         failure, or justify the bound with an allow",
+                        n.text, n.text
+                    ),
                 );
             }
         }
@@ -859,5 +901,32 @@ mod tests {
         let mut v = vec![];
         allow_reason(&fs, &mut v);
         assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn lossy_cast_flags_narrowing_not_widening() {
+        let fs = src(
+            "x.rs",
+            "fn f(n: usize) -> u32 { n as u32 }\n\
+             fn g(n: u32) -> u64 { n as u64 }\n\
+             fn h(n: usize) -> usize { n as usize }",
+        );
+        let mut v = vec![];
+        lossy_cast(&fs, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 1);
+        assert!(v[0].msg.contains("u32::try_from"));
+    }
+
+    #[test]
+    fn lossy_cast_respects_allow_with_reason() {
+        let fs = src(
+            "x.rs",
+            "// sdr-lint: allow(lossy-cast) — bounded by the dense id contract\n\
+             fn f(n: usize) -> u32 { n as u32 }",
+        );
+        let mut v = vec![];
+        lossy_cast(&fs, &mut v);
+        assert!(v.is_empty(), "{v:?}");
     }
 }

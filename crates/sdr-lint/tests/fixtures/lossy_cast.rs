@@ -1,0 +1,27 @@
+//! Fixture: narrowing `as` casts. Never compiled — lexed by the
+//! rule-engine tests and the CLI exit-code test.
+
+fn narrows(n: usize, m: u64) -> (u32, u16) {
+    let a = n as u32;
+    let b = m as u16;
+    (a, b)
+}
+
+fn widens(n: u32) -> u64 {
+    // Casts up to 64-bit types are widening on the supported platforms
+    // and are not flagged.
+    n as u64
+}
+
+fn bounded(n: usize) -> u32 {
+    // sdr-lint: allow(lossy-cast) — ids are allocated densely below u32::MAX
+    n as u32
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: tests may truncate freely.
+    fn in_tests(n: usize) -> u8 {
+        n as u8
+    }
+}

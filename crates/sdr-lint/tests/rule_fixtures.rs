@@ -93,6 +93,20 @@ fn allow_reason_fixture_flags_all_three_bad_annotations() {
 }
 
 #[test]
+fn lossy_cast_fixture_trips_only_lossy_cast() {
+    assert_eq!(rules_hit(&["lossy_cast.rs"]), ["lossy-cast"]);
+}
+
+#[test]
+fn lossy_cast_fixture_flags_each_narrowing_once() {
+    let v = sdr_lint::lint_paths_all_rules(&[fixture("lossy_cast.rs")]).unwrap();
+    // `as u32` + `as u16`; the widening cast, the annotated fn, and the
+    // test module are exempt.
+    assert_eq!(v.len(), 2, "{v:#?}");
+    assert!(v.iter().all(|v| v.msg.contains("try_from")), "{v:#?}");
+}
+
+#[test]
 fn clean_fixture_passes_every_rule() {
     let v = sdr_lint::lint_paths_all_rules(&[fixture("clean.rs")]).unwrap();
     assert!(v.is_empty(), "{v:#?}");
@@ -116,6 +130,7 @@ fn cli_exits_nonzero_on_each_seeded_fixture() {
         "lock_hygiene.rs",
         "crate_hygiene/lib.rs",
         "allow_reason.rs",
+        "lossy_cast.rs",
     ] {
         let out = run_cli(&["--all", fixture(f).to_str().unwrap()]);
         assert_eq!(out.status.code(), Some(1), "{f} should fail");

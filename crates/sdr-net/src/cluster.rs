@@ -65,6 +65,7 @@ impl NetCluster {
             faults: Mutex::new(faults),
             delayed: Mutex::new(Vec::new()),
             send_attempts: options.send_attempts.max(1),
+            metrics: Mutex::new(sdr_obs::Obs::from_env().take_metrics()),
         });
         spawn_node(deployment.clone(), ServerId(0))?;
         Ok(NetCluster { deployment })
@@ -91,6 +92,31 @@ impl NetCluster {
     /// only occur when raw, unsolicited frames hit a node listener).
     pub fn in_flight(&self) -> i64 {
         self.deployment.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Renders the deployment's delivery metrics as a table, if metrics
+    /// were enabled (`SDR_METRICS` set at launch). Counts cover frame
+    /// reads/writes, bytes on the wire, in-flight high-water, and
+    /// delayed-lane flushes; values depend on thread timing and are for
+    /// inspection, not golden comparison.
+    pub fn metrics_table(&self) -> Option<String> {
+        self.deployment
+            .metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(sdr_obs::Metrics::render_table)
+    }
+
+    /// A sorted `(key, value)` snapshot of the delivery metrics, if
+    /// metrics were enabled at launch.
+    pub fn metrics_snapshot(&self) -> Option<Vec<(String, f64)>> {
+        self.deployment
+            .metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(sdr_obs::Metrics::snapshot)
     }
 
     /// A snapshot of the injected-fault counters, if a fault plan is

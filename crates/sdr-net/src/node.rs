@@ -93,6 +93,12 @@ pub(crate) struct Deployment {
     /// undeliverable (the retry ladder sleeps `2ms * attempt` between
     /// tries). Tunable so fault tests fail fast instead of in seconds.
     pub send_attempts: u32,
+    /// Deployment-wide delivery metrics (`None` unless `SDR_METRICS` is
+    /// set at launch): frame read/write counts and bytes, in-flight
+    /// high-water, delayed-lane flushes. Numeric *values* depend on
+    /// thread timing — only the key set is deterministic — so these are
+    /// for operator inspection, never for golden comparisons.
+    pub metrics: Mutex<Option<sdr_obs::Metrics>>,
 }
 
 impl Deployment {
@@ -127,6 +133,16 @@ impl Deployment {
         self.delivery_failures.fetch_add(1, Ordering::SeqCst);
     }
 
+    /// Runs `f` against the metrics registry if one is installed. The
+    /// lock is held only for the closure — callers must not nest this
+    /// inside other deployment locks.
+    pub fn with_metrics(&self, f: impl FnOnce(&mut sdr_obs::Metrics)) {
+        let mut guard = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(m) = guard.as_mut() {
+            f(m);
+        }
+    }
+
     /// Ticks the delay buffer by one send event and transmits every
     /// expired message (with `force`, all of them). Returns how many
     /// were sent. Re-injected messages bypass further fault decisions,
@@ -152,6 +168,9 @@ impl Deployment {
         let n = expired.len();
         for msg in &expired {
             transmit(self, msg);
+        }
+        if n > 0 {
+            self.with_metrics(|m| m.add("net/delayed_flush", n as u64));
         }
         n
     }
@@ -196,6 +215,7 @@ fn accept_loop(deployment: Arc<Deployment>, listener: TcpListener, mut server: S
                 consecutive_errors = 0;
                 match read_frame(stream) {
                     Some(msg) => {
+                        deployment.with_metrics(|m| m.inc("frame/read"));
                         // Receive-side fault injection: the frame arrived
                         // but is treated as unreadable.
                         let corrupt = {
@@ -242,6 +262,7 @@ fn accept_loop(deployment: Arc<Deployment>, listener: TcpListener, mut server: S
 fn read_failure(deployment: &Deployment) {
     deployment.in_flight.fetch_sub(1, Ordering::SeqCst);
     deployment.record_delivery_failure();
+    deployment.with_metrics(|m| m.inc("frame/read_failure"));
 }
 
 fn handle_message(deployment: &Arc<Deployment>, server: &mut Server, msg: Message) {
@@ -347,9 +368,14 @@ pub(crate) fn send_message(deployment: &Deployment, msg: &Message) {
 fn transmit(deployment: &Deployment, msg: &Message) {
     let is_server_bound = matches!(msg.to, Endpoint::Server(_));
     if is_server_bound {
-        deployment.in_flight.fetch_add(1, Ordering::SeqCst);
+        let depth = deployment.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        deployment.with_metrics(|m| m.set_gauge("net/in_flight", depth));
     }
     let frame = encode_message(msg);
+    deployment.with_metrics(|m| {
+        m.inc("frame/write");
+        m.add("frame/bytes_out", frame.len() as u64);
+    });
     for attempt in 0..u64::from(deployment.send_attempts) {
         // Resolve the port on every attempt: listeners register before
         // anything can address them, but a client may not have connected

@@ -1,0 +1,243 @@
+//! Structured trace events with logical time and causal message ids.
+//!
+//! An event is recorded when the simulator *does something* with a
+//! message: delivers it to a server or client, or applies a fault
+//! decision (drop/duplicate/delay/reorder/corrupt). Each message
+//! carries an id assigned at emission; children emitted while handling
+//! it carry `parent = that id`, so the log reconstructs the causal
+//! tree of every operation — the per-hop story §5.1 of the paper tells
+//! in aggregate.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One observed step of a message's life.
+///
+/// All fields are plain integers or names so rendering is trivially
+/// byte-deterministic. `from`/`to` are short endpoint labels built by
+/// the recording site (`"C3"`, `"S17"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Logical delivery tick (the cluster's drain counter).
+    pub tick: u64,
+    /// Causal id of this message, unique within a run, never 0.
+    pub id: u64,
+    /// Id of the message whose handling emitted this one; 0 for roots
+    /// (client posts, bootstrap traffic).
+    pub parent: u64,
+    /// Hop count from the root of the causal tree (0 for roots).
+    pub depth: u32,
+    /// What happened: `"deliver"`, `"client"` (handed to a client
+    /// inbox), `"flush"` (left the delayed lane), or a fault kind
+    /// (`"drop"`, `"dup"`, `"delay"`, `"reorder"`, `"corrupt"`).
+    pub kind: &'static str,
+    /// Payload name (`Payload::name()`).
+    pub name: &'static str,
+    /// Message category name (`MsgCategory::name()`).
+    pub category: &'static str,
+    /// Sender endpoint label.
+    pub from: String,
+    /// Receiver endpoint label.
+    pub to: String,
+}
+
+impl TraceEvent {
+    /// Renders the event as one fixed-format line (no trailing
+    /// newline). The format is part of the golden-trace contract:
+    /// change it and the checked-in golden file must be regenerated.
+    pub fn render(&self) -> String {
+        format!(
+            "[{:>6}] {:<7} #{:<5} <#{:<5} d{} {}->{} {} ({})",
+            self.tick,
+            self.kind,
+            self.id,
+            self.parent,
+            self.depth,
+            self.from,
+            self.to,
+            self.name,
+            self.category
+        )
+    }
+}
+
+/// Append-only log of [`TraceEvent`]s in observation order.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    pub fn record(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// All events in observation order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drops all events (keeps tracing enabled).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Flat reporter: one line per event, observation order, trailing
+    /// newline after each line. Byte-deterministic for a fixed run.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 64);
+        for ev in &self.events {
+            out.push_str(&ev.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Tree reporter: reconstructs the causal forest and prints each
+    /// root's subtree with two-space indentation per hop. A message
+    /// with several events (delayed then flushed then delivered) is
+    /// shown once, with its kinds joined by `,` in observation order.
+    /// Children are ordered by id, which is emission order.
+    pub fn render_tree(&self) -> String {
+        // id -> indexes of its events, in observation order.
+        let mut by_id: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        // parent id -> child ids (BTreeMap value push preserves
+        // first-seen order; ids are assigned in emission order).
+        let mut children: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            let entry = by_id.entry(ev.id).or_default();
+            if entry.is_empty() {
+                children.entry(ev.parent).or_default().push(ev.id);
+            }
+            entry.push(i);
+        }
+
+        let mut out = String::with_capacity(self.events.len() * 64);
+        // Roots are children of the sentinel parent 0 (plus any id
+        // whose parent was never observed — e.g. the parent's deliver
+        // event predates tracing being enabled).
+        let mut roots: Vec<u64> = children.get(&0).cloned().unwrap_or_default();
+        for &id in by_id.keys() {
+            let parent = self.events[by_id[&id][0]].parent;
+            if parent != 0 && !by_id.contains_key(&parent) && !roots.contains(&id) {
+                roots.push(id);
+            }
+        }
+        roots.sort_unstable();
+
+        // Explicit stack: (id, indent). Children pushed in reverse so
+        // they pop in ascending-id order.
+        let mut stack: Vec<(u64, usize)> = Vec::new();
+        for &r in roots.iter().rev() {
+            stack.push((r, 0));
+        }
+        while let Some((id, indent)) = stack.pop() {
+            let idxs = &by_id[&id];
+            let first = &self.events[idxs[0]];
+            let kinds: Vec<&str> = idxs.iter().map(|&i| self.events[i].kind).collect();
+            let last = &self.events[idxs[idxs.len() - 1]];
+            let _ = writeln!(
+                out,
+                "{:indent$}#{} [{}] {} {}->{} ({})",
+                "",
+                id,
+                last.tick,
+                kinds.join(","),
+                first.from,
+                first.to,
+                first.name,
+                indent = indent
+            );
+            if let Some(kids) = children.get(&id) {
+                let mut kids = kids.clone();
+                kids.sort_unstable();
+                for &k in kids.iter().rev() {
+                    stack.push((k, indent + 2));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tick: u64, id: u64, parent: u64, depth: u32, kind: &'static str) -> TraceEvent {
+        TraceEvent {
+            tick,
+            id,
+            parent,
+            depth,
+            kind,
+            name: "Query",
+            category: "Query",
+            from: "S0".into(),
+            to: "S1".into(),
+        }
+    }
+
+    #[test]
+    fn render_is_stable_and_one_line_per_event() {
+        let mut log = TraceLog::new();
+        log.record(ev(1, 1, 0, 0, "deliver"));
+        log.record(ev(2, 2, 1, 1, "deliver"));
+        let r = log.render();
+        assert_eq!(r.lines().count(), 2);
+        assert_eq!(r, log.render(), "render must be pure");
+        assert!(r.contains("#1"));
+        assert!(r.contains("<#1"));
+    }
+
+    #[test]
+    fn tree_nests_children_under_parents() {
+        let mut log = TraceLog::new();
+        log.record(ev(1, 1, 0, 0, "deliver"));
+        log.record(ev(2, 2, 1, 1, "deliver"));
+        log.record(ev(3, 3, 1, 1, "drop"));
+        log.record(ev(4, 4, 2, 2, "deliver"));
+        let t = log.render_tree();
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("#1 "));
+        assert!(lines[1].starts_with("  #2 "));
+        assert!(lines[2].starts_with("    #4 "));
+        assert!(lines[3].starts_with("  #3 "));
+    }
+
+    #[test]
+    fn tree_merges_multiple_events_for_one_id() {
+        let mut log = TraceLog::new();
+        log.record(ev(1, 1, 0, 0, "delay"));
+        log.record(ev(3, 1, 0, 0, "flush"));
+        log.record(ev(3, 1, 0, 0, "deliver"));
+        let t = log.render_tree();
+        assert_eq!(t.lines().count(), 1);
+        assert!(t.contains("delay,flush,deliver"), "{t}");
+    }
+
+    #[test]
+    fn orphan_parents_become_roots() {
+        let mut log = TraceLog::new();
+        log.record(ev(5, 7, 3, 2, "deliver")); // parent 3 never observed
+        let t = log.render_tree();
+        assert!(t.starts_with("#7 "), "{t}");
+    }
+}

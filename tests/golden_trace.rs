@@ -1,0 +1,98 @@
+//! Golden-trace smoke test: a fixed-seed tiny workload, traced through
+//! `sdr-obs`, must render byte-for-byte identically to the checked-in
+//! golden file. This pins three contracts at once:
+//!
+//! - the trace-line format (`TraceEvent::render`) and the causal-tree
+//!   reporter (`TraceLog::render_tree`),
+//! - the causal-id assignment (ids, parents, depths) threaded through
+//!   the simulator's envelopes, and
+//! - the deterministic delivery order of the drain loop itself.
+//!
+//! Any intentional change to one of those (a new message kind, a format
+//! tweak, a delivery-order fix) shows up here as a reviewable diff of
+//! the golden file. Regenerate with:
+//!
+//! ```text
+//! SDR_GOLDEN_REGEN=1 cargo test --test golden_trace
+//! ```
+
+use sd_rtree::workload::{DatasetSpec, Distribution, PointSpec, WindowSpec};
+use sd_rtree::{Client, ClientId, Cluster, Object, Oid, SdrConfig, Variant};
+use std::path::{Path, PathBuf};
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trace_smoke.txt")
+}
+
+/// The smoke workload: small enough that the golden file stays
+/// reviewable, busy enough to exercise splits, window + point queries,
+/// and a delete (so Insert/Split/Adjust/Query/Reply/Iam/Delete traffic
+/// all appear in the log).
+fn render_smoke_trace() -> String {
+    let mut cluster = Cluster::new(SdrConfig::with_capacity(8));
+    cluster.obs_mut().enable_trace();
+    let mut client = Client::new(ClientId(0), Variant::ImClient, 42);
+    let rects = DatasetSpec::new(40, Distribution::Uniform).generate(42);
+    for (i, r) in rects.iter().enumerate() {
+        client.insert(&mut cluster, Object::new(Oid(i as u64), *r));
+    }
+    for w in WindowSpec::paper_default().generate(3, 43) {
+        client.window_query(&mut cluster, w);
+    }
+    for p in PointSpec::uniform().generate(3, 44) {
+        client.point_query(&mut cluster, p);
+    }
+    client.delete(&mut cluster, Object::new(Oid(0), rects[0]));
+
+    let trace = cluster.obs().trace().expect("trace enabled");
+    format!(
+        "{}--- causal tree ---\n{}",
+        trace.render(),
+        trace.render_tree()
+    )
+}
+
+#[test]
+fn smoke_trace_matches_checked_in_golden() {
+    let got = render_smoke_trace();
+    let path = golden_path();
+    if std::env::var_os("SDR_GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .expect("golden file missing — run with SDR_GOLDEN_REGEN=1 to create it");
+    if got != want {
+        // Point at the first divergent line instead of dumping both
+        // multi-thousand-line logs through assert_eq.
+        let mut got_lines = got.lines();
+        let mut want_lines = want.lines();
+        let mut line_no = 0usize;
+        loop {
+            line_no += 1;
+            match (got_lines.next(), want_lines.next()) {
+                (Some(g), Some(w)) if g == w => continue,
+                (g, w) => panic!(
+                    "trace diverges from the golden file at line {line_no}:\n  \
+                     got:  {}\n  want: {}\n\
+                     ({} vs {} lines total; if the change is intentional, \
+                     regenerate with SDR_GOLDEN_REGEN=1)",
+                    g.unwrap_or("<eof>"),
+                    w.unwrap_or("<eof>"),
+                    got.lines().count(),
+                    want.lines().count(),
+                ),
+            }
+        }
+    }
+}
+
+/// The golden workload is itself reproducible in-process: two renders
+/// in the same run are byte-identical (a cheaper precondition than the
+/// cross-run golden comparison, and a clearer failure when a
+/// nondeterminism bug slips into the drain loop).
+#[test]
+fn smoke_trace_is_reproducible_in_process() {
+    assert_eq!(render_smoke_trace(), render_smoke_trace());
+}
