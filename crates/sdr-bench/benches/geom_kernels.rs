@@ -1,0 +1,158 @@
+//! Micro-benchmarks of the [`sdr_geom::kernels`] batch predicates — the
+//! `LANES`-wide mask kernels the SoA traversals consume — next to a
+//! scalar short-circuit twin of the intersection scan so the recorded
+//! medians document how the branchless form actually compiles on the
+//! build target (DESIGN.md decision 11).
+
+use sdr_bench::exp::common::{dataset, Dist};
+use sdr_det::bench::{black_box, Bench};
+use sdr_geom::kernels::{
+    contains_point_batch, covered_by_batch, intersects_batch, min_dist_sq_batch, within_batch,
+    LANES,
+};
+use sdr_geom::{Coord, Point, Rect};
+
+/// 10k rects as four parallel coordinate slabs, truncated to a multiple
+/// of [`LANES`] so every bench below is pure full-chunk kernel work.
+fn slabs() -> (Vec<Coord>, Vec<Coord>, Vec<Coord>, Vec<Coord>) {
+    let rects = dataset(10_000, Dist::Uniform, 7);
+    let n = rects.len() - rects.len() % LANES;
+    let grab = |f: fn(&Rect) -> Coord| rects[..n].iter().map(f).collect::<Vec<_>>();
+    (
+        grab(|r| r.xmin),
+        grab(|r| r.ymin),
+        grab(|r| r.xmax),
+        grab(|r| r.ymax),
+    )
+}
+
+/// Borrows chunk `base..base + LANES` of a slab as the kernel operand.
+fn lanes(s: &[Coord], base: usize) -> &[Coord; LANES] {
+    s[base..base + LANES].try_into().expect("full chunk")
+}
+
+fn bench_kernels(c: &mut Bench) {
+    c.set_sample_size(20);
+    let (xmin, ymin, xmax, ymax) = slabs();
+    let n = xmin.len();
+    let w = Rect::new(0.2, 0.2, 0.8, 0.8);
+    let p = Point::new(0.37, 0.61);
+    let d2 = 0.01;
+
+    c.bench_function("geom_kernels/intersects_batch_10k", |b| {
+        b.iter(|| {
+            let w = black_box(&w);
+            let mut hits = 0u32;
+            let mut base = 0;
+            while base < n {
+                let m = intersects_batch(
+                    lanes(&xmin, base),
+                    lanes(&ymin, base),
+                    lanes(&xmax, base),
+                    lanes(&ymax, base),
+                    w,
+                );
+                hits += u32::from(m.count_ones() as u8);
+                base += LANES;
+            }
+            hits
+        })
+    });
+
+    c.bench_function("geom_kernels/intersects_scalar_10k", |b| {
+        b.iter(|| {
+            let w = black_box(&w);
+            let mut hits = 0u32;
+            for i in 0..n {
+                if xmin[i] <= w.xmax && w.xmin <= xmax[i] && ymin[i] <= w.ymax && w.ymin <= ymax[i]
+                {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    c.bench_function("geom_kernels/covered_by_batch_10k", |b| {
+        b.iter(|| {
+            let w = black_box(&w);
+            let mut covered = 0u32;
+            let mut base = 0;
+            while base < n {
+                let m = covered_by_batch(
+                    lanes(&xmin, base),
+                    lanes(&ymin, base),
+                    lanes(&xmax, base),
+                    lanes(&ymax, base),
+                    w,
+                );
+                covered += u32::from(m.count_ones() as u8);
+                base += LANES;
+            }
+            covered
+        })
+    });
+
+    c.bench_function("geom_kernels/contains_point_batch_10k", |b| {
+        b.iter(|| {
+            let p = black_box(&p);
+            let mut hits = 0u32;
+            let mut base = 0;
+            while base < n {
+                let m = contains_point_batch(
+                    lanes(&xmin, base),
+                    lanes(&ymin, base),
+                    lanes(&xmax, base),
+                    lanes(&ymax, base),
+                    p,
+                );
+                hits += u32::from(m.count_ones() as u8);
+                base += LANES;
+            }
+            hits
+        })
+    });
+
+    c.bench_function("geom_kernels/within_batch_10k", |b| {
+        b.iter(|| {
+            let p = black_box(&p);
+            let mut hits = 0u32;
+            let mut base = 0;
+            while base < n {
+                let m = within_batch(
+                    lanes(&xmin, base),
+                    lanes(&ymin, base),
+                    lanes(&xmax, base),
+                    lanes(&ymax, base),
+                    p,
+                    black_box(d2),
+                );
+                hits += u32::from(m.count_ones() as u8);
+                base += LANES;
+            }
+            hits
+        })
+    });
+
+    c.bench_function("geom_kernels/min_dist_sq_batch_10k", |b| {
+        b.iter(|| {
+            let p = black_box(&p);
+            let mut acc = 0.0f64;
+            let mut base = 0;
+            while base < n {
+                let d = min_dist_sq_batch(
+                    lanes(&xmin, base),
+                    lanes(&ymin, base),
+                    lanes(&xmax, base),
+                    lanes(&ymax, base),
+                    p,
+                );
+                acc += d.iter().sum::<f64>();
+                base += LANES;
+            }
+            acc
+        })
+    });
+}
+
+sdr_det::bench_main!(bench_kernels);

@@ -26,6 +26,14 @@ pub const KNOWN_BENCHES: &[&str] = &[
     "geom/intersects_10k_pairs",
     "geom/min_dist2_10k",
     "geom/union_10k_pairs",
+    // benches/geom_kernels.rs — the LANES-wide batch kernels the SoA
+    // traversals consume, with a scalar twin for the vectorization story.
+    "geom_kernels/contains_point_batch_10k",
+    "geom_kernels/covered_by_batch_10k",
+    "geom_kernels/intersects_batch_10k",
+    "geom_kernels/intersects_scalar_10k",
+    "geom_kernels/min_dist_sq_batch_10k",
+    "geom_kernels/within_batch_10k",
     // benches/spatial_join.rs
     "join/bruteforce_4k",
     "join/distributed_4k",
@@ -142,7 +150,15 @@ mod tests {
     fn suites_cover_the_bench_binaries() {
         assert_eq!(
             known_suites(),
-            ["cluster", "geom", "join", "rtree", "split", "wire"]
+            [
+                "cluster",
+                "geom",
+                "geom_kernels",
+                "join",
+                "rtree",
+                "split",
+                "wire"
+            ]
         );
     }
 }

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kernels;
 mod point;
 mod rect;
 
@@ -36,4 +37,11 @@ pub use point::Point;
 pub use rect::Rect;
 
 /// Convenience alias used across the workspace for scalar coordinates.
+///
+/// # Examples
+///
+/// ```
+/// let half: sdr_geom::Coord = 0.5;
+/// assert_eq!(half * 2.0, 1.0);
+/// ```
 pub type Coord = f64;

@@ -4,6 +4,15 @@ use crate::Coord;
 ///
 /// Points are used as query arguments (point queries, kNN centers) and as
 /// rectangle corners. They are plain `Copy` data.
+///
+/// # Examples
+///
+/// ```
+/// use sdr_geom::Point;
+///
+/// let p = Point { x: 1.0, y: 2.0 };
+/// assert_eq!(p, Point::new(1.0, 2.0));
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Point {
     /// Horizontal coordinate.
@@ -14,6 +23,16 @@ pub struct Point {
 
 impl Point {
     /// Creates a point from its coordinates.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Point;
+    ///
+    /// const ORIGIN: Point = Point::new(0.0, 0.0);
+    /// assert_eq!(ORIGIN.x, 0.0);
+    /// assert_eq!(ORIGIN.y, 0.0);
+    /// ```
     #[inline]
     pub const fn new(x: Coord, y: Coord) -> Self {
         Point { x, y }
@@ -22,6 +41,16 @@ impl Point {
     /// Squared Euclidean distance to another point.
     ///
     /// Kept squared so callers comparing distances avoid the `sqrt`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Point;
+    ///
+    /// let a = Point::new(0.0, 0.0);
+    /// let b = Point::new(3.0, 4.0);
+    /// assert_eq!(a.dist2(&b), 25.0);
+    /// ```
     #[inline]
     pub fn dist2(&self, other: &Point) -> Coord {
         let dx = self.x - other.x;
@@ -30,12 +59,32 @@ impl Point {
     }
 
     /// Euclidean distance to another point.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Point;
+    ///
+    /// let a = Point::new(0.0, 0.0);
+    /// let b = Point::new(3.0, 4.0);
+    /// assert_eq!(a.dist(&b), 5.0);
+    /// ```
     #[inline]
     pub fn dist(&self, other: &Point) -> Coord {
         self.dist2(other).sqrt()
     }
 }
 
+/// Converts an `(x, y)` coordinate pair into a [`Point`].
+///
+/// # Examples
+///
+/// ```
+/// use sdr_geom::Point;
+///
+/// let p: Point = (1.0, 2.0).into();
+/// assert_eq!(p, Point::new(1.0, 2.0));
+/// ```
 impl From<(Coord, Coord)> for Point {
     #[inline]
     fn from((x, y): (Coord, Coord)) -> Self {

@@ -6,6 +6,17 @@ use crate::{Coord, Point};
 /// their inputs so the invariant always holds. Degenerate rectangles
 /// (zero width and/or height) are legal — they are the mbbs of points and
 /// segments.
+///
+/// # Examples
+///
+/// ```
+/// use sdr_geom::Rect;
+///
+/// let r = Rect::new(0.0, 0.0, 2.0, 3.0);
+/// assert_eq!(r.xmin, 0.0);
+/// assert_eq!(r.ymax, 3.0);
+/// assert_eq!(r.area(), 6.0);
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Rect {
     /// Smallest x coordinate.
@@ -20,6 +31,15 @@ pub struct Rect {
 
 impl Rect {
     /// Creates a rectangle, normalizing the corner order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    ///
+    /// // Corners may be given in any order.
+    /// assert_eq!(Rect::new(2.0, 3.0, 0.0, 1.0), Rect::new(0.0, 1.0, 2.0, 3.0));
+    /// ```
     #[inline]
     pub fn new(x0: Coord, y0: Coord, x1: Coord, y1: Coord) -> Self {
         Rect {
@@ -31,6 +51,16 @@ impl Rect {
     }
 
     /// Creates the degenerate rectangle covering a single point.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::{Point, Rect};
+    ///
+    /// let r = Rect::from_point(Point::new(1.0, 2.0));
+    /// assert_eq!(r.area(), 0.0);
+    /// assert!(r.contains_point(&Point::new(1.0, 2.0)));
+    /// ```
     #[inline]
     pub fn from_point(p: Point) -> Self {
         Rect {
@@ -42,6 +72,15 @@ impl Rect {
     }
 
     /// Creates a rectangle from its center, width and height.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::{Point, Rect};
+    ///
+    /// let r = Rect::centered(Point::new(1.0, 1.0), 2.0, 4.0);
+    /// assert_eq!(r, Rect::new(0.0, -1.0, 2.0, 3.0));
+    /// ```
     #[inline]
     pub fn centered(center: Point, width: Coord, height: Coord) -> Self {
         Rect::new(
@@ -54,6 +93,16 @@ impl Rect {
 
     /// The minimal bounding box of a non-empty iterator of rectangles, or
     /// `None` for an empty iterator.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    ///
+    /// let rs = [Rect::new(0.0, 0.0, 1.0, 1.0), Rect::new(-1.0, 2.0, 0.5, 3.0)];
+    /// assert_eq!(Rect::mbb(rs.iter()), Some(Rect::new(-1.0, 0.0, 1.0, 3.0)));
+    /// assert_eq!(Rect::mbb(std::iter::empty()), None);
+    /// ```
     pub fn mbb<'a, I: IntoIterator<Item = &'a Rect>>(rects: I) -> Option<Rect> {
         let mut it = rects.into_iter();
         let first = *it.next()?;
@@ -61,30 +110,71 @@ impl Rect {
     }
 
     /// Width of the rectangle.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    ///
+    /// assert_eq!(Rect::new(1.0, 0.0, 4.0, 2.0).width(), 3.0);
+    /// ```
     #[inline]
     pub fn width(&self) -> Coord {
         self.xmax - self.xmin
     }
 
     /// Height of the rectangle.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    ///
+    /// assert_eq!(Rect::new(1.0, 0.0, 4.0, 2.0).height(), 2.0);
+    /// ```
     #[inline]
     pub fn height(&self) -> Coord {
         self.ymax - self.ymin
     }
 
     /// Area (zero for degenerate rectangles).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    ///
+    /// assert_eq!(Rect::new(0.0, 0.0, 2.0, 3.0).area(), 6.0);
+    /// assert_eq!(Rect::new(0.0, 0.0, 0.0, 3.0).area(), 0.0);
+    /// ```
     #[inline]
     pub fn area(&self) -> Coord {
         self.width() * self.height()
     }
 
     /// Half-perimeter, the "margin" criterion of the R*-tree split.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    ///
+    /// assert_eq!(Rect::new(0.0, 0.0, 2.0, 3.0).margin(), 5.0);
+    /// ```
     #[inline]
     pub fn margin(&self) -> Coord {
         self.width() + self.height()
     }
 
     /// Center point.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::{Point, Rect};
+    ///
+    /// assert_eq!(Rect::new(0.0, 0.0, 2.0, 4.0).center(), Point::new(1.0, 2.0));
+    /// ```
     #[inline]
     pub fn center(&self) -> Point {
         Point::new((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
@@ -92,6 +182,16 @@ impl Rect {
 
     /// Smallest rectangle containing both `self` and `other`
     /// (the `mbb(b ∪ c)` operation of the paper).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    ///
+    /// let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+    /// let b = Rect::new(2.0, 2.0, 3.0, 3.0);
+    /// assert_eq!(a.union(&b), Rect::new(0.0, 0.0, 3.0, 3.0));
+    /// ```
     #[inline]
     pub fn union(&self, other: &Rect) -> Rect {
         Rect {
@@ -108,6 +208,19 @@ impl Rect {
     /// a degenerate rectangle, which is returned — a point query on the
     /// shared edge must be forwarded to both sides, so edge contact counts
     /// as overlap for the SD-Rtree overlapping-coverage bookkeeping.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    ///
+    /// let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+    /// let b = Rect::new(1.0, 1.0, 3.0, 3.0);
+    /// assert_eq!(a.intersection(&b), Some(Rect::new(1.0, 1.0, 2.0, 2.0)));
+    ///
+    /// let far = Rect::new(5.0, 5.0, 6.0, 6.0);
+    /// assert_eq!(a.intersection(&far), None);
+    /// ```
     #[inline]
     pub fn intersection(&self, other: &Rect) -> Option<Rect> {
         let xmin = self.xmin.max(other.xmin);
@@ -127,6 +240,16 @@ impl Rect {
     }
 
     /// Whether the interiors-or-boundaries of the two rectangles meet.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    ///
+    /// let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+    /// assert!(a.intersects(&Rect::new(1.0, 0.0, 2.0, 1.0))); // edge contact
+    /// assert!(!a.intersects(&Rect::new(2.0, 2.0, 3.0, 3.0)));
+    /// ```
     #[inline]
     pub fn intersects(&self, other: &Rect) -> bool {
         self.xmin <= other.xmax
@@ -136,6 +259,16 @@ impl Rect {
     }
 
     /// Area of the intersection, zero when disjoint.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    ///
+    /// let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+    /// let b = Rect::new(1.0, 1.0, 3.0, 3.0);
+    /// assert_eq!(a.overlap_area(&b), 1.0);
+    /// ```
     #[inline]
     pub fn overlap_area(&self, other: &Rect) -> Coord {
         let w = self.xmax.min(other.xmax) - self.xmin.max(other.xmin);
@@ -148,6 +281,16 @@ impl Rect {
     }
 
     /// Whether `other` lies entirely inside (or on the border of) `self`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    ///
+    /// let big = Rect::new(0.0, 0.0, 10.0, 10.0);
+    /// assert!(big.contains(&Rect::new(2.0, 2.0, 3.0, 3.0)));
+    /// assert!(big.contains(&big)); // border contact counts
+    /// ```
     #[inline]
     pub fn contains(&self, other: &Rect) -> bool {
         self.xmin <= other.xmin
@@ -157,6 +300,16 @@ impl Rect {
     }
 
     /// Whether the point lies inside or on the border.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::{Point, Rect};
+    ///
+    /// let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+    /// assert!(r.contains_point(&Point::new(1.0, 0.5))); // on the border
+    /// assert!(!r.contains_point(&Point::new(1.1, 0.5)));
+    /// ```
     #[inline]
     pub fn contains_point(&self, p: &Point) -> bool {
         self.xmin <= p.x && p.x <= self.xmax && self.ymin <= p.y && p.y <= self.ymax
@@ -164,6 +317,16 @@ impl Rect {
 
     /// Area increase needed to enlarge `self` to also cover `other` —
     /// the `CHOOSESUBTREE` criterion of the classical R-tree.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    ///
+    /// let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+    /// assert_eq!(a.enlargement(&Rect::new(0.25, 0.25, 0.75, 0.75)), 0.0);
+    /// assert_eq!(a.enlargement(&Rect::new(0.0, 0.0, 2.0, 1.0)), 1.0);
+    /// ```
     #[inline]
     pub fn enlargement(&self, other: &Rect) -> Coord {
         self.union(other).area() - self.area()
@@ -171,6 +334,16 @@ impl Rect {
 
     /// Squared minimal Euclidean distance from the rectangle to a point
     /// (zero if the point is inside). Used by kNN search.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::{Point, Rect};
+    ///
+    /// let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+    /// assert_eq!(r.min_dist2(&Point::new(0.5, 0.5)), 0.0);
+    /// assert_eq!(r.min_dist2(&Point::new(2.0, 2.0)), 2.0);
+    /// ```
     #[inline]
     pub fn min_dist2(&self, p: &Point) -> Coord {
         let dx = if p.x < self.xmin {
@@ -191,6 +364,15 @@ impl Rect {
     }
 
     /// Minimal Euclidean distance from the rectangle to a point.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::{Point, Rect};
+    ///
+    /// let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+    /// assert_eq!(r.min_dist(&Point::new(3.0, 0.5)), 2.0);
+    /// ```
     #[inline]
     pub fn min_dist(&self, p: &Point) -> Coord {
         self.min_dist2(p).sqrt()
@@ -198,6 +380,16 @@ impl Rect {
 
     /// Squared minimal distance between two rectangles (zero if they
     /// intersect). Used by distance queries and spatial joins.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    ///
+    /// let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+    /// assert_eq!(a.min_dist2_rect(&Rect::new(2.0, 0.0, 3.0, 1.0)), 1.0);
+    /// assert_eq!(a.min_dist2_rect(&Rect::new(0.5, 0.5, 2.0, 2.0)), 0.0);
+    /// ```
     #[inline]
     pub fn min_dist2_rect(&self, other: &Rect) -> Coord {
         let dx = (self.xmin - other.xmax)
@@ -210,6 +402,16 @@ impl Rect {
     }
 
     /// Grows the rectangle in place so it covers `other`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    ///
+    /// let mut a = Rect::new(0.0, 0.0, 1.0, 1.0);
+    /// a.enlarge(&Rect::new(2.0, -1.0, 3.0, 0.5));
+    /// assert_eq!(a, Rect::new(0.0, -1.0, 3.0, 1.0));
+    /// ```
     #[inline]
     pub fn enlarge(&mut self, other: &Rect) {
         self.xmin = self.xmin.min(other.xmin);
@@ -219,6 +421,15 @@ impl Rect {
     }
 
     /// Whether the rectangle is degenerate (zero area).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::{Point, Rect};
+    ///
+    /// assert!(Rect::from_point(Point::new(1.0, 1.0)).is_degenerate());
+    /// assert!(!Rect::new(0.0, 0.0, 1.0, 1.0).is_degenerate());
+    /// ```
     #[inline]
     pub fn is_degenerate(&self) -> bool {
         self.width() == 0.0 || self.height() == 0.0

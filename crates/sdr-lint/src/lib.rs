@@ -142,6 +142,11 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
         .collect();
     rules::codec_symmetry(&codec, &mut out);
 
+    // Documentation drift is a workspace-level property (it compares
+    // `crates/` against README.md and DESIGN.md), so it runs here and
+    // not in the per-file `lint_paths_all_rules` fixture mode.
+    rules::doc_sync(root, &mut out)?;
+
     sort_violations(&mut out);
     Ok(out)
 }

@@ -18,6 +18,7 @@
 //! | `crate-hygiene` | a crate root without `#![forbid(unsafe_code)]` and a `missing_docs` lint header |
 //! | `allow-reason` | an `sdr-lint:` annotation that is malformed or carries no reason (not allowable) |
 //! | `lossy-cast` | `as` casts to a narrower integer type (`u8`/`u16`/`u32`/`i8`/`i16`/`i32`) in sdr-core message paths — they truncate silently; use `try_from` with a loud failure |
+//! | `doc-sync` | documentation drifting from the workspace: a crate under `crates/` absent from the README workspace table or the DESIGN.md §1 inventory, or a gap in the DESIGN.md §2 decision numbering |
 
 use crate::allow::{parse_allows, Allow};
 use crate::lexer::{lex, Lexed, TokKind, Token};
@@ -37,6 +38,8 @@ pub const CRATE_HYGIENE: &str = "crate-hygiene";
 pub const ALLOW_REASON: &str = "allow-reason";
 /// Rule name: silently truncating `as` casts on message paths.
 pub const LOSSY_CAST: &str = "lossy-cast";
+/// Rule name: README/DESIGN drifting from the crate inventory.
+pub const DOC_SYNC: &str = "doc-sync";
 
 /// Every rule, in reporting order.
 pub const ALL_RULES: &[&str] = &[
@@ -47,6 +50,7 @@ pub const ALL_RULES: &[&str] = &[
     CRATE_HYGIENE,
     ALLOW_REASON,
     LOSSY_CAST,
+    DOC_SYNC,
 ];
 
 /// One finding.
@@ -744,6 +748,137 @@ pub fn allow_reason(fs: &FileSource, out: &mut Vec<Violation>) {
             });
         }
     }
+}
+
+// -------------------------------------------------------- doc-sync ----
+
+/// README/DESIGN drift against the crate inventory. Unlike the token
+/// rules this one reads the *documentation*, not the sources: every
+/// directory under `crates/` must appear as a row of the README
+/// workspace table and inside the DESIGN.md "## 1." inventory section,
+/// and the top-level decision numbers of the DESIGN.md "## 2." section
+/// must be contiguous from 1 (letter sub-decisions like `4b.` share
+/// their parent's number). Docs that describe a crate that no longer
+/// exists, or skip a decision number, read as authoritative while being
+/// wrong — the exact failure mode this workspace lints against in code.
+pub fn doc_sync(root: &Path, out: &mut Vec<Violation>) -> std::io::Result<()> {
+    let mut crates: Vec<String> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for e in std::fs::read_dir(&crates_dir)? {
+            let e = e?;
+            if e.path().is_dir() {
+                crates.push(e.file_name().to_string_lossy().into_owned());
+            }
+        }
+    }
+    crates.sort();
+
+    for (doc, section_check) in [("README.md", false), ("DESIGN.md", true)] {
+        let path = root.join(doc);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            out.push(Violation {
+                file: PathBuf::from(doc),
+                line: 1,
+                rule: DOC_SYNC,
+                msg: format!("{doc} is missing from the workspace root"),
+            });
+            continue;
+        };
+        let lines: Vec<&str> = text.lines().collect();
+        let (hay, what): (Vec<&str>, &str) = if section_check {
+            (section(&lines, "## 1."), "the DESIGN.md §1 inventory")
+        } else {
+            // The README check scans table rows only, so prose
+            // mentioning a crate cannot mask a missing table entry.
+            (
+                lines
+                    .iter()
+                    .copied()
+                    .filter(|l| l.trim_start().starts_with('|'))
+                    .collect(),
+                "the README workspace table",
+            )
+        };
+        for krate in &crates {
+            let needle = format!("`{krate}`");
+            let needle_path = format!("`crates/{krate}`");
+            if !hay
+                .iter()
+                .any(|l| l.contains(&needle) || l.contains(&needle_path))
+            {
+                out.push(Violation {
+                    file: PathBuf::from(doc),
+                    line: 1,
+                    rule: DOC_SYNC,
+                    msg: format!("crate `{krate}` does not appear in {what}"),
+                });
+            }
+        }
+    }
+
+    if let Ok(text) = std::fs::read_to_string(root.join("DESIGN.md")) {
+        let lines: Vec<&str> = text.lines().collect();
+        let mut seen: Vec<(u32, u32)> = Vec::new(); // (decision number, 1-based line)
+        if let Some(start) = lines.iter().position(|l| l.starts_with("## 2.")) {
+            for (i, l) in lines[start..].iter().enumerate() {
+                if i > 0 && l.starts_with("## ") {
+                    break;
+                }
+                if let Some(n) = decision_number(l) {
+                    seen.push((n, (start + i + 1) as u32));
+                }
+            }
+        }
+        let mut expect = 1;
+        for (n, line) in &seen {
+            if *n == expect || *n + 1 == expect {
+                expect = expect.max(n + 1);
+            } else {
+                out.push(Violation {
+                    file: PathBuf::from("DESIGN.md"),
+                    line: *line,
+                    rule: DOC_SYNC,
+                    msg: format!(
+                        "decision numbering gap: found decision {n} where {expect} was expected"
+                    ),
+                });
+                expect = n + 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The lines of the markdown section whose heading starts with `head`,
+/// up to (excluding) the next same-level heading.
+fn section<'a>(lines: &[&'a str], head: &str) -> Vec<&'a str> {
+    let Some(start) = lines.iter().position(|l| l.starts_with(head)) else {
+        return Vec::new();
+    };
+    lines[start..]
+        .iter()
+        .enumerate()
+        .take_while(|(i, l)| *i == 0 || !l.starts_with("## "))
+        .map(|(_, l)| *l)
+        .collect()
+}
+
+/// Parses `l` as a top-level decision item: digits, an optional single
+/// lowercase letter (a sub-decision, e.g. `4b.`), then `. `.
+fn decision_number(l: &str) -> Option<u32> {
+    let digits: String = l.chars().take_while(char::is_ascii_digit).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    let rest = &l[digits.len()..];
+    let rest = rest
+        .strip_prefix(|c: char| c.is_ascii_lowercase())
+        .unwrap_or(rest);
+    if !rest.starts_with(". ") {
+        return None;
+    }
+    digits.parse().ok()
 }
 
 #[cfg(test)]

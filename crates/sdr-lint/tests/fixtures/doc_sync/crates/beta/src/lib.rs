@@ -1,0 +1,10 @@
+//! Clean fixture crate `beta`: trips no source rule, so the doc-sync
+//! findings are the only violations in this mini-workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The answer.
+pub fn answer() -> u32 {
+    42
+}

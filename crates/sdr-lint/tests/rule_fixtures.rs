@@ -107,6 +107,32 @@ fn lossy_cast_fixture_flags_each_narrowing_once() {
 }
 
 #[test]
+fn doc_sync_fixture_reports_drift_and_numbering_gap() {
+    // The fixture is a miniature workspace: crate `beta` exists on disk
+    // but is absent from both the README table and the DESIGN.md §1
+    // inventory, and the §2 decision list jumps 1, 2, 2b, 4.
+    let v = sdr_lint::lint_workspace(&fixture("doc_sync")).unwrap();
+    assert!(v.iter().all(|v| v.rule == "doc-sync"), "{v:#?}");
+    assert_eq!(v.len(), 3, "{v:#?}");
+    let msgs = v.iter().map(|v| v.msg.as_str()).collect::<Vec<_>>();
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("beta") && m.contains("README")),
+        "{v:#?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("beta") && m.contains("§1 inventory")),
+        "{v:#?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("found decision 4 where 3 was expected")),
+        "{v:#?}"
+    );
+}
+
+#[test]
 fn clean_fixture_passes_every_rule() {
     let v = sdr_lint::lint_paths_all_rules(&[fixture("clean.rs")]).unwrap();
     assert!(v.is_empty(), "{v:#?}");
@@ -143,6 +169,14 @@ fn cli_exits_nonzero_on_each_seeded_fixture() {
 fn cli_exits_zero_on_the_clean_fixture() {
     let out = run_cli(&["--all", fixture("clean.rs").to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn cli_exits_nonzero_on_the_doc_sync_fixture() {
+    let out = run_cli(&["--workspace", fixture("doc_sync").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("doc-sync"), "{stdout}");
 }
 
 #[test]

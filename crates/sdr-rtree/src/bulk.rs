@@ -23,6 +23,24 @@ impl<T> RTree<T> {
     /// (Leutenegger et al.): sort by x-center into vertical slices of
     /// roughly `sqrt(n / M)` columns, sort each slice by y-center, pack
     /// runs of `M` into leaves, then recurse on the leaf rectangles.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    /// use sdr_rtree::{Entry, RTree, RTreeConfig};
+    ///
+    /// let entries: Vec<Entry<u32>> = (0..1000)
+    ///     .map(|i| {
+    ///         let x = f64::from(i % 100);
+    ///         let y = f64::from(i / 100);
+    ///         Entry::new(Rect::new(x, y, x + 0.5, y + 0.5), i)
+    ///     })
+    ///     .collect();
+    /// let tree = RTree::bulk_load(RTreeConfig::default(), entries);
+    /// assert_eq!(tree.len(), 1000);
+    /// assert!(tree.stats().avg_leaf_fill > 0.8); // STR packs leaves nearly full
+    /// ```
     pub fn bulk_load(config: RTreeConfig, mut entries: Vec<Entry<T>>) -> Self {
         config.validate();
         let len = entries.len();

@@ -4,6 +4,14 @@
 /// SD-Rtree paper uses the Guttman split for data-node division (§2.2
 /// cites Guttman \[6\] and Garcia et al. \[5\]) and mentions R\*-style
 /// splitting as future work (§7), which we also provide.
+///
+/// # Examples
+///
+/// ```
+/// use sdr_rtree::SplitPolicy;
+///
+/// assert_eq!(SplitPolicy::default(), SplitPolicy::Quadratic);
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum SplitPolicy {
     /// Guttman's linear-cost split: pick the two seeds with the greatest
@@ -22,6 +30,17 @@ pub enum SplitPolicy {
 }
 
 /// Structural parameters of an [`crate::RTree`].
+///
+/// # Examples
+///
+/// ```
+/// use sdr_rtree::{RTreeConfig, SplitPolicy};
+///
+/// let config = RTreeConfig::with_max(16, SplitPolicy::Linear).with_reinsertion();
+/// assert_eq!(config.max_entries, 16);
+/// assert!(config.reinsert);
+/// config.validate(); // would panic if m/M were inconsistent
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RTreeConfig {
     /// Maximum number of entries per node (`M`). Must be ≥ 2.
@@ -60,6 +79,15 @@ impl RTreeConfig {
     /// # Panics
     ///
     /// Panics if `max_entries < 2`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_rtree::{RTreeConfig, SplitPolicy};
+    ///
+    /// let config = RTreeConfig::with_max(10, SplitPolicy::Quadratic);
+    /// assert_eq!(config.min_entries, 4);
+    /// ```
     pub fn with_max(max_entries: usize, split: SplitPolicy) -> Self {
         assert!(
             max_entries >= 2,
@@ -75,6 +103,15 @@ impl RTreeConfig {
     }
 
     /// Enables R\*-style forced reinsertion on leaf overflow.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_rtree::{RTreeConfig, SplitPolicy};
+    ///
+    /// let config = RTreeConfig::with_max(32, SplitPolicy::RStar).with_reinsertion();
+    /// assert!(config.reinsert);
+    /// ```
     pub fn with_reinsertion(mut self) -> Self {
         self.reinsert = true;
         self
@@ -86,6 +123,20 @@ impl RTreeConfig {
     /// # Panics
     ///
     /// Panics with a description of the violated constraint.
+    ///
+    /// # Examples
+    ///
+    /// ```should_panic
+    /// use sdr_rtree::{RTreeConfig, SplitPolicy};
+    ///
+    /// let bad = RTreeConfig {
+    ///     max_entries: 4,
+    ///     min_entries: 3, // > M/2
+    ///     split: SplitPolicy::Quadratic,
+    ///     reinsert: false,
+    /// };
+    /// bad.validate(); // panics
+    /// ```
     pub fn validate(&self) {
         assert!(self.max_entries >= 2, "max_entries must be >= 2");
         assert!(

@@ -3,6 +3,17 @@ use sdr_geom::Rect;
 /// A leaf entry: an indexed object's minimal bounding box plus its payload
 /// (typically an object id in the SD-Rtree, where the object body lives in
 /// the application).
+///
+/// # Examples
+///
+/// ```
+/// use sdr_geom::Rect;
+/// use sdr_rtree::Entry;
+///
+/// let e = Entry::new(Rect::new(0.0, 0.0, 2.0, 2.0), 42u64);
+/// assert_eq!(e.rect.area(), 4.0);
+/// assert_eq!(e.item, 42);
+/// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct Entry<T> {
     /// Minimal bounding box of the object.
@@ -13,6 +24,16 @@ pub struct Entry<T> {
 
 impl<T> Entry<T> {
     /// Creates an entry.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    /// use sdr_rtree::Entry;
+    ///
+    /// let e = Entry::new(Rect::new(1.0, 1.0, 2.0, 2.0), "payload");
+    /// assert_eq!(e.item, "payload");
+    /// ```
     #[inline]
     pub fn new(rect: Rect, item: T) -> Self {
         Entry { rect, item }

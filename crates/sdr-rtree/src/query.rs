@@ -2,11 +2,12 @@
 //! queries over a local [`RTree`].
 //!
 //! Traversals run over the arena's coordinate slabs: each visited node
-//! filters its children with a contiguous four-compare-per-slot kernel
-//! ([`crate::node::Slabs`]) and only the surviving indices are resolved
-//! to child ids or leaf entries. All transient state (node stack, hit
-//! buffer, kNN heaps) lives in a per-tree [`Scratch`] so steady-state
-//! queries allocate nothing beyond the result vector.
+//! filters its children with the batch predicate kernels of
+//! [`sdr_geom::kernels`] (eight MBRs per branchless evaluation, driven
+//! by [`crate::node::Slabs`]) and only the indices surviving the lane
+//! masks are resolved to child ids or leaf entries. All transient state
+//! (node stack, hit buffer, kNN heaps) lives in a per-tree [`Scratch`]
+//! so steady-state queries allocate nothing beyond the result vector.
 
 use crate::entry::Entry;
 use crate::node::{Kind, NodeId};
@@ -20,6 +21,10 @@ use std::collections::BinaryHeap;
 pub(crate) struct Scratch {
     /// DFS stack of pending nodes.
     stack: Vec<NodeId>,
+    /// Secondary stack for the covered-subtree report-all descent; kept
+    /// separate from `stack` because both are live inside the window
+    /// traversal loop.
+    sub: Vec<NodeId>,
     /// Best-first kNN frontier.
     heap: BinaryHeap<KnnItem>,
     /// Max-heap of the k best entry distances pushed so far — the kNN
@@ -30,11 +35,26 @@ pub(crate) struct Scratch {
 impl<T> RTree<T> {
     /// Returns every entry whose rectangle intersects `window`
     /// (border contact counts, matching the SD-Rtree forwarding rules).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    /// use sdr_rtree::{RTree, RTreeConfig};
+    ///
+    /// let mut tree = RTree::new(RTreeConfig::default());
+    /// tree.insert(Rect::new(0.0, 0.0, 1.0, 1.0), 'a');
+    /// tree.insert(Rect::new(5.0, 5.0, 6.0, 6.0), 'b');
+    /// let hits = tree.search_window(&Rect::new(0.5, 0.5, 2.0, 2.0));
+    /// assert_eq!(hits.len(), 1);
+    /// assert_eq!(hits[0].item, 'a');
+    /// ```
     pub fn search_window(&self, window: &Rect) -> Vec<&Entry<T>> {
         let mut res = Vec::new();
         let mut scratch = self.scratch.borrow_mut();
-        let stack = &mut scratch.stack;
+        let Scratch { stack, sub, .. } = &mut *scratch;
         stack.clear();
+        sub.clear();
         stack.push(self.root);
         while let Some(id) = stack.pop() {
             let node = self.arena.node(id);
@@ -43,12 +63,12 @@ impl<T> RTree<T> {
                     node.slabs.each_intersecting(window, |i| res.push(&es[i]));
                 }
                 Kind::Internal(cs) => {
-                    node.slabs.each_intersecting(window, |i| {
-                        // Report-all shortcut: a child fully inside the
-                        // window contributes every entry below it, no
-                        // further rectangle tests needed.
-                        if node.slabs.covered_by(i, window) {
-                            self.push_all(cs[i], &mut res);
+                    // Report-all shortcut: a child fully inside the
+                    // window contributes every entry below it, no
+                    // further rectangle tests needed.
+                    node.slabs.each_intersecting_covered(window, |i, covered| {
+                        if covered {
+                            self.push_all(cs[i], &mut res, sub);
                         } else {
                             stack.push(cs[i]);
                         }
@@ -60,6 +80,19 @@ impl<T> RTree<T> {
     }
 
     /// Returns every entry whose rectangle contains the point.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::{Point, Rect};
+    /// use sdr_rtree::{RTree, RTreeConfig};
+    ///
+    /// let mut tree = RTree::new(RTreeConfig::default());
+    /// tree.insert(Rect::new(0.0, 0.0, 2.0, 2.0), "big");
+    /// tree.insert(Rect::new(0.0, 0.0, 1.0, 1.0), "small");
+    /// assert_eq!(tree.search_point(&Point::new(1.5, 1.5)).len(), 1);
+    /// assert_eq!(tree.search_point(&Point::new(0.5, 0.5)).len(), 2);
+    /// ```
     pub fn search_point(&self, p: &Point) -> Vec<&Entry<T>> {
         let mut res = Vec::new();
         let mut scratch = self.scratch.borrow_mut();
@@ -83,6 +116,21 @@ impl<T> RTree<T> {
     /// Returns every entry within Euclidean distance `dist` of point `p`
     /// (measured to the entry's rectangle; entries containing `p` are at
     /// distance 0).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::{Point, Rect};
+    /// use sdr_rtree::{RTree, RTreeConfig};
+    ///
+    /// let mut tree = RTree::new(RTreeConfig::default());
+    /// tree.insert(Rect::new(0.0, 0.0, 1.0, 1.0), 'a');
+    /// tree.insert(Rect::new(10.0, 0.0, 11.0, 1.0), 'b');
+    /// // 'a' is 1.0 away from (2, 0.5); 'b' is 8.0 away.
+    /// let near = tree.search_within(&Point::new(2.0, 0.5), 1.5);
+    /// assert_eq!(near.len(), 1);
+    /// assert_eq!(near[0].item, 'a');
+    /// ```
     pub fn search_within(&self, p: &Point, dist: f64) -> Vec<&Entry<T>> {
         let d2 = dist * dist;
         let mut res = Vec::new();
@@ -106,12 +154,34 @@ impl<T> RTree<T> {
 
     /// Appends every entry of the subtree rooted at `id` to `res` — the
     /// report-all descent for covered subtrees.
-    fn push_all<'a>(&'a self, id: NodeId, res: &mut Vec<&'a Entry<T>>) {
-        match &self.arena.node(id).kind {
-            Kind::Leaf(es) => res.extend(es.iter()),
-            Kind::Internal(cs) => {
-                for &c in cs {
-                    self.push_all(c, res);
+    ///
+    /// Iterative preorder walk over an explicit stack: children are pushed
+    /// in reverse so pop order matches the recursive left-to-right descent
+    /// exactly, keeping result order bit-for-bit stable while avoiding the
+    /// per-node call frames that dominated this path under profiling.
+    fn push_all<'a>(&'a self, id: NodeId, res: &mut Vec<&'a Entry<T>>, stack: &mut Vec<NodeId>) {
+        debug_assert!(stack.is_empty());
+        stack.push(id);
+        while let Some(id) = stack.pop() {
+            match &self.arena.node(id).kind {
+                Kind::Leaf(es) => res.extend(es.iter()),
+                Kind::Internal(cs) => {
+                    // The tree is balanced, so siblings share a level:
+                    // probing the first child classifies the whole list.
+                    // Leaf children are drained inline, in order, instead
+                    // of bouncing each one through the stack.
+                    let leaf_level = cs
+                        .first()
+                        .is_some_and(|&c| matches!(self.arena.node(c).kind, Kind::Leaf(_)));
+                    if leaf_level {
+                        for &c in cs {
+                            if let Kind::Leaf(es) = &self.arena.node(c).kind {
+                                res.extend(es.iter());
+                            }
+                        }
+                    } else {
+                        stack.extend(cs.iter().rev());
+                    }
                 }
             }
         }
@@ -124,6 +194,24 @@ impl<T> RTree<T> {
     /// The frontier is pruned against the k-th best entry distance seen
     /// so far: nodes and entries strictly farther than the cutoff can
     /// never reach the result set, so they are never pushed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::{Point, Rect};
+    /// use sdr_rtree::{RTree, RTreeConfig};
+    ///
+    /// let mut tree = RTree::new(RTreeConfig::default());
+    /// for i in 0..10 {
+    ///     let x = f64::from(i) * 2.0;
+    ///     tree.insert(Rect::new(x, 0.0, x + 1.0, 1.0), i);
+    /// }
+    /// let nn = tree.nearest(Point::new(4.5, 0.5), 3);
+    /// assert_eq!(nn.len(), 3);
+    /// assert_eq!(nn[0].0.item, 2); // [4, 5] contains the query point
+    /// assert_eq!(nn[0].1, 0.0); // distance to the containing rect
+    /// assert!(nn[1].1 <= nn[2].1); // ordered by increasing distance
+    /// ```
     pub fn nearest(&self, p: Point, k: usize) -> Vec<(&Entry<T>, f64)> {
         if k == 0 || self.is_empty() {
             return Vec::new();
@@ -144,13 +232,12 @@ impl<T> RTree<T> {
                 KnnTarget::Node(id) => {
                     let node = self.arena.node(id);
                     let is_leaf = matches!(node.kind, Kind::Leaf(_));
-                    for i in 0..node.fanout() {
-                        let d = node.slabs.min_dist2(i, &p);
+                    node.slabs.each_min_dist2(&p, |i, d| {
                         // Prune: with k candidates at distance <= cutoff
                         // already in flight, anything strictly farther is
                         // dominated (ties keep the original order).
                         if kth.len() == k && kth.peek().is_some_and(|worst| d > worst.0) {
-                            continue;
+                            return;
                         }
                         counter += 1;
                         let target = if is_leaf {
@@ -170,7 +257,7 @@ impl<T> RTree<T> {
                             seq: counter,
                             target,
                         });
-                    }
+                    });
                 }
                 KnnTarget::Entry(id, i) => {
                     found.push((id, i, d2.sqrt()));

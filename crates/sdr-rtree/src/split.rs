@@ -29,6 +29,24 @@ use sdr_geom::Rect;
 /// # Panics
 ///
 /// Panics if `entries.len() < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use sdr_geom::Rect;
+/// use sdr_rtree::{partition, Entry, RTreeConfig};
+///
+/// // Two tight clusters, far apart: any sane split separates them.
+/// let entries: Vec<Entry<u32>> = (0..8)
+///     .map(|i| {
+///         let x = if i < 4 { f64::from(i) } else { 100.0 + f64::from(i) };
+///         Entry::new(Rect::new(x, 0.0, x + 1.0, 1.0), i)
+///     })
+///     .collect();
+/// let (left, right) = partition(entries, &RTreeConfig::default());
+/// assert_eq!(left.len() + right.len(), 8);
+/// assert_eq!(left.len(), 4);
+/// ```
 pub fn partition<T>(
     entries: Vec<Entry<T>>,
     config: &RTreeConfig,
@@ -116,10 +134,11 @@ fn linear_pick_seeds(slabs: &Slabs) -> (usize, usize) {
 ///  (index, value) of the highest low side,
 ///  (index, value) of the lowest high side).
 fn axis_extremes(slabs: &Slabs, axis: usize) -> (f64, f64, (usize, f64), (usize, f64)) {
+    let (xmin, ymin, xmax, ymax) = slabs.sections();
     let (los, his) = if axis == 0 {
-        (&slabs.xmin, &slabs.xmax)
+        (xmin, xmax)
     } else {
-        (&slabs.ymin, &slabs.ymax)
+        (ymin, ymax)
     };
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
@@ -146,12 +165,13 @@ fn quadratic_pick_seeds(slabs: &Slabs) -> (usize, usize) {
     let mut worst = f64::NEG_INFINITY;
     let mut best = (0, 1);
     let n = slabs.len();
+    let (xmin, ymin, xmax, ymax) = slabs.sections();
     for i in 0..n {
-        let area_i = (slabs.xmax[i] - slabs.xmin[i]) * (slabs.ymax[i] - slabs.ymin[i]);
+        let area_i = (xmax[i] - xmin[i]) * (ymax[i] - ymin[i]);
         for j in (i + 1)..n {
-            let area_j = (slabs.xmax[j] - slabs.xmin[j]) * (slabs.ymax[j] - slabs.ymin[j]);
-            let uw = slabs.xmax[i].max(slabs.xmax[j]) - slabs.xmin[i].min(slabs.xmin[j]);
-            let uh = slabs.ymax[i].max(slabs.ymax[j]) - slabs.ymin[i].min(slabs.ymin[j]);
+            let area_j = (xmax[j] - xmin[j]) * (ymax[j] - ymin[j]);
+            let uw = xmax[i].max(xmax[j]) - xmin[i].min(xmin[j]);
+            let uh = ymax[i].max(ymax[j]) - ymin[i].min(ymin[j]);
             let waste = uw * uh - area_i - area_j;
             if waste > worst {
                 worst = waste;
@@ -320,11 +340,12 @@ fn rstar_split(slabs: &Slabs, config: &RTreeConfig) -> (Vec<u32>, Vec<u32>) {
 }
 
 fn sort_ids(idx: &mut [u32], slabs: &Slabs, axis: usize, by_upper: bool) {
+    let (xmin, ymin, xmax, ymax) = slabs.sections();
     let keys: &[f64] = match (axis, by_upper) {
-        (0, false) => &slabs.xmin,
-        (0, true) => &slabs.xmax,
-        (1, false) => &slabs.ymin,
-        _ => &slabs.ymax,
+        (0, false) => xmin,
+        (0, true) => xmax,
+        (1, false) => ymin,
+        _ => ymax,
     };
     idx.sort_by(|&a, &b| {
         keys[a as usize]

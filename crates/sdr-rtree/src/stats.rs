@@ -6,6 +6,21 @@ use crate::tree::RTree;
 use sdr_geom::Rect;
 
 /// A structural snapshot of an [`RTree`].
+///
+/// # Examples
+///
+/// ```
+/// use sdr_geom::Rect;
+/// use sdr_rtree::{RTree, RTreeConfig};
+///
+/// let mut tree = RTree::new(RTreeConfig::default());
+/// for i in 0..100 {
+///     tree.insert(Rect::new(f64::from(i), 0.0, f64::from(i) + 1.0, 1.0), i);
+/// }
+/// let stats = tree.stats();
+/// assert_eq!(stats.entries, 100);
+/// assert!(stats.leaves > 1);
+/// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct RTreeStats {
     /// Number of leaf nodes.
@@ -28,6 +43,18 @@ pub struct RTreeStats {
 
 impl<T> RTree<T> {
     /// Computes structural statistics in one traversal.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    /// use sdr_rtree::{RTree, RTreeConfig};
+    ///
+    /// let mut tree = RTree::new(RTreeConfig::default());
+    /// tree.insert(Rect::new(0.0, 0.0, 1.0, 1.0), ());
+    /// let stats = tree.stats();
+    /// assert_eq!((stats.entries, stats.leaves, stats.height), (1, 1, 0));
+    /// ```
     pub fn stats(&self) -> RTreeStats {
         let mut s = RTreeStats {
             height: self.height(),
@@ -57,6 +84,19 @@ impl<T> RTree<T> {
     /// coordinate slabs stay parallel to its payload, leaf slabs mirror
     /// their entries' rectangles exactly, and the arena holds no live
     /// slots beyond the reachable tree (no leaks past the free list).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    /// use sdr_rtree::{RTree, RTreeConfig};
+    ///
+    /// let mut tree = RTree::new(RTreeConfig::default());
+    /// for i in 0..50 {
+    ///     tree.insert(Rect::new(f64::from(i), 0.0, f64::from(i) + 1.0, 1.0), i);
+    /// }
+    /// tree.check_invariants(); // passes silently on a well-formed tree
+    /// ```
     pub fn check_invariants(&self) {
         let mut nodes_seen = 0usize;
         check(

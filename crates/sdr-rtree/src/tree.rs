@@ -16,6 +16,26 @@ use std::cell::RefCell;
 /// every node stores its children's bounding boxes as four parallel
 /// coordinate arrays (`node::Slabs`), so the hot query loops scan
 /// contiguous memory instead of chasing one heap pointer per rectangle.
+///
+/// # Examples
+///
+/// ```
+/// use sdr_geom::{Point, Rect};
+/// use sdr_rtree::{RTree, RTreeConfig};
+///
+/// let mut tree: RTree<u32> = RTree::new(RTreeConfig::default());
+/// for i in 0..100u32 {
+///     let x = f64::from(i);
+///     tree.insert(Rect::new(x, 0.0, x + 0.5, 1.0), i);
+/// }
+///
+/// let in_window = tree.search_window(&Rect::new(10.0, 0.0, 12.0, 1.0));
+/// assert_eq!(in_window.len(), 3); // objects 10, 11 and 12
+///
+/// let (nearest, d2) = tree.nearest(Point::new(42.1, 0.5), 1)[0];
+/// assert_eq!(nearest.item, 42);
+/// assert_eq!(d2, 0.0); // the query point lies inside object 42
+/// ```
 #[derive(Clone, Debug)]
 pub struct RTree<T> {
     pub(crate) arena: Arena<T>,
@@ -35,6 +55,15 @@ impl<T> RTree<T> {
     /// # Panics
     ///
     /// Panics if the configuration violates `1 <= m <= M/2`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_rtree::{RTree, RTreeConfig, SplitPolicy};
+    ///
+    /// let tree: RTree<String> = RTree::new(RTreeConfig::with_max(16, SplitPolicy::RStar));
+    /// assert!(tree.is_empty());
+    /// ```
     pub fn new(config: RTreeConfig) -> Self {
         config.validate();
         let mut arena = Arena::new();
@@ -49,18 +78,47 @@ impl<T> RTree<T> {
     }
 
     /// Number of stored entries.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    /// use sdr_rtree::{RTree, RTreeConfig};
+    ///
+    /// let mut tree = RTree::new(RTreeConfig::default());
+    /// tree.insert(Rect::new(0.0, 0.0, 1.0, 1.0), 'a');
+    /// assert_eq!(tree.len(), 1);
+    /// ```
     #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
 
     /// Whether the tree is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_rtree::{RTree, RTreeConfig};
+    ///
+    /// let tree: RTree<u64> = RTree::new(RTreeConfig::default());
+    /// assert!(tree.is_empty());
+    /// ```
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
     /// The configuration the tree was built with.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_rtree::{RTree, RTreeConfig};
+    ///
+    /// let tree: RTree<u64> = RTree::new(RTreeConfig::default());
+    /// assert_eq!(tree.config().max_entries, 32);
+    /// ```
     #[inline]
     pub fn config(&self) -> &RTreeConfig {
         &self.config
@@ -68,16 +126,54 @@ impl<T> RTree<T> {
 
     /// Minimal bounding box of all stored entries — the *directory
     /// rectangle* of the server holding this tree, in SD-Rtree terms.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    /// use sdr_rtree::{RTree, RTreeConfig};
+    ///
+    /// let mut tree = RTree::new(RTreeConfig::default());
+    /// assert_eq!(tree.bbox(), None);
+    /// tree.insert(Rect::new(0.0, 0.0, 1.0, 1.0), 1);
+    /// tree.insert(Rect::new(3.0, 2.0, 4.0, 5.0), 2);
+    /// assert_eq!(tree.bbox(), Some(Rect::new(0.0, 0.0, 4.0, 5.0)));
+    /// ```
     pub fn bbox(&self) -> Option<Rect> {
         self.arena.node(self.root).mbb()
     }
 
     /// Height of the tree (a single leaf has height 0).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    /// use sdr_rtree::{RTree, RTreeConfig};
+    ///
+    /// let mut tree = RTree::new(RTreeConfig::default());
+    /// assert_eq!(tree.height(), 0);
+    /// for i in 0..100 {
+    ///     tree.insert(Rect::new(f64::from(i), 0.0, f64::from(i) + 1.0, 1.0), i);
+    /// }
+    /// assert!(tree.height() >= 1); // the root must have split by now
+    /// ```
     pub fn height(&self) -> usize {
         self.arena.height(self.root)
     }
 
     /// Inserts an object with the given bounding box.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::{Point, Rect};
+    /// use sdr_rtree::{RTree, RTreeConfig};
+    ///
+    /// let mut tree = RTree::new(RTreeConfig::default());
+    /// tree.insert(Rect::new(2.0, 2.0, 3.0, 3.0), "box");
+    /// assert_eq!(tree.search_point(&Point::new(2.5, 2.5))[0].item, "box");
+    /// ```
     pub fn insert(&mut self, rect: Rect, item: T) {
         self.len += 1;
         let reinsert = self.config.reinsert;
@@ -128,6 +224,20 @@ impl<T> RTree<T> {
     /// subtrees but keeps the tree invariants trivially intact, and
     /// deletions are rare in the SD-Rtree workloads (paper §3.3:
     /// "deletions ... are rare in practice").
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    /// use sdr_rtree::{RTree, RTreeConfig};
+    ///
+    /// let mut tree = RTree::new(RTreeConfig::default());
+    /// let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+    /// tree.insert(r, 7);
+    /// assert!(tree.remove(&r, &7));
+    /// assert!(!tree.remove(&r, &7)); // already gone
+    /// assert!(tree.is_empty());
+    /// ```
     pub fn remove(&mut self, rect: &Rect, item: &T) -> bool
     where
         T: PartialEq,
@@ -174,6 +284,20 @@ impl<T> RTree<T> {
     /// Used by the SD-Rtree server split (§2.2): the overloaded server
     /// takes all its objects out, splits them in two halves, keeps one and
     /// ships the other to the new server.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    /// use sdr_rtree::{RTree, RTreeConfig};
+    ///
+    /// let mut tree = RTree::new(RTreeConfig::default());
+    /// tree.insert(Rect::new(0.0, 0.0, 1.0, 1.0), 'a');
+    /// tree.insert(Rect::new(2.0, 0.0, 3.0, 1.0), 'b');
+    /// let drained = tree.drain_all();
+    /// assert_eq!(drained.len(), 2);
+    /// assert!(tree.is_empty());
+    /// ```
     pub fn drain_all(&mut self) -> Vec<Entry<T>> {
         let mut out = Vec::new();
         let root = self.root;
@@ -187,6 +311,19 @@ impl<T> RTree<T> {
     }
 
     /// Iterates over all entries (arbitrary order).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdr_geom::Rect;
+    /// use sdr_rtree::{RTree, RTreeConfig};
+    ///
+    /// let mut tree = RTree::new(RTreeConfig::default());
+    /// tree.insert(Rect::new(0.0, 0.0, 1.0, 1.0), 10u32);
+    /// tree.insert(Rect::new(2.0, 0.0, 3.0, 1.0), 20u32);
+    /// let total: u32 = tree.iter().map(|e| e.item).sum();
+    /// assert_eq!(total, 30);
+    /// ```
     pub fn iter(&self) -> Iter<'_, T> {
         Iter {
             arena: &self.arena,
@@ -197,6 +334,17 @@ impl<T> RTree<T> {
 }
 
 /// Iterator over every entry of an [`RTree`], in arbitrary order.
+///
+/// # Examples
+///
+/// ```
+/// use sdr_geom::Rect;
+/// use sdr_rtree::{RTree, RTreeConfig};
+///
+/// let mut tree = RTree::new(RTreeConfig::default());
+/// tree.insert(Rect::new(0.0, 0.0, 1.0, 1.0), ());
+/// assert_eq!(tree.iter().count(), 1);
+/// ```
 pub struct Iter<'a, T> {
     arena: &'a Arena<T>,
     stack: Vec<NodeId>,
